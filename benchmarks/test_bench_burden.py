@@ -1,0 +1,29 @@
+"""E5: conceptual burden vs task completion."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_e5_burden_sweep(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E5", users_per_cell=40),
+        iterations=1, rounds=1)
+    record_table(result)
+    for population in ("lab", "casual"):
+        rows = {row["burden"]: row
+                for row in result.select(population=population)}
+        assert rows[2]["completed"] > 0.9
+        assert rows[12]["completed"] < 0.2
+    # Casual users collapse earlier (at burden 8).
+    assert result.select(population="lab", burden=8)[0]["completed"] > \
+        result.select(population="casual", burden=8)[0]["completed"]
+
+
+def test_e5_prototype_vs_product(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E5-prototype", users_per_cell=60),
+        iterations=1, rounds=1)
+    record_table(result)
+    assert result.select(variant="commercial-product")[0]["completed"] > 0.9
+    assert result.select(variant="research-prototype")[0]["completed"] < 0.4

@@ -1,0 +1,37 @@
+"""E4: service discovery latency, stale sessions and hijack prevention."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import run_experiment
+
+
+def test_e4_discovery_latency(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E4-discovery", repeats=4),
+        iterations=1, rounds=1)
+    record_table(result)
+    rows = {row["distance_m"]: row for row in result.rows}
+    # Comfortably in range: milliseconds.
+    assert rows[20.0]["mean_latency_s"] < 0.1
+    # At the edge and beyond: failures appear.
+    assert rows[230.0]["failures"] >= 1
+
+
+def test_e4_stale_session_recovery(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E4-stale"), iterations=1, rounds=1)
+    record_table(result)
+    for lease_s in (10.0, 30.0, 60.0):
+        row = result.select(policy=f"lease={lease_s:.0f}s")[0]
+        assert row["wait_s"] <= lease_s + 4.0
+    assert math.isinf(result.select(policy="no lease, no admin")[0]["wait_s"])
+
+
+def test_e4_hijack_prevention(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E4-hijack", attempts=200),
+        iterations=1, rounds=1)
+    record_table(result)
+    assert result.rows[0]["hijacks_succeeded"] == 0

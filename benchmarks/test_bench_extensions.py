@@ -1,0 +1,78 @@
+"""Extension benches: training curve, mobile-code cost, energy budget.
+
+These go beyond the paper's explicit analysis to its stated premises —
+trainable faculties, mobile code as a research area, and the
+battery-powered $10 SOC — as DESIGN.md's ablation list calls out.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_e5_training_curve(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E5-training"), iterations=1, rounds=1)
+    record_table(result)
+    completed = result.column("completed")
+    assert sum(completed[-3:]) / 3 > completed[0]
+
+
+def test_e4_proxy_mobile_code(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E4-proxy"), iterations=1, rounds=1)
+    record_table(result)
+    slow = result.select(rate="1Mbps", proxy_kb=64.0)[0]
+    fast = result.select(rate="11Mbps", proxy_kb=64.0)[0]
+    assert slow["bind_time_s"] > 5 * fast["bind_time_s"]
+
+
+def test_e10_energy_budget(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E10-energy"), iterations=1, rounds=1)
+    record_table(result)
+    always_on = result.select(rx_duty=1.0, beacon_period_s=60.0)[0]
+    sleepy = result.select(rx_duty=0.05, beacon_period_s=60.0)[0]
+    assert sleepy["battery_life_h"] > 5 * always_on["battery_life_h"]
+
+
+def test_e4_orders_deadlock(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E4-orders"), iterations=1, rounds=1)
+    record_table(result)
+    assert result.select(strategy="atomic")[0]["deadlocks"] == 0
+    assert result.select(strategy="split")[0]["deadlocks"] > 0
+
+
+def test_e8_auth_biometrics(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E8-auth"), iterations=1, rounds=1)
+    record_table(result)
+    frrs = result.column("frr")
+    assert frrs == sorted(frrs)
+    assert all(row["far"] <= 0.05 for row in result.rows)
+
+
+def test_e2_scale_lookup_population(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E2-scale"), iterations=1, rounds=1)
+    record_table(result)
+    broad = {row["services"]: row for row in result.select(query="broad")}
+    assert broad[64]["latency_s"] > 5 * broad[4]["latency_s"]
+
+
+def test_e6_accessibility(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E6-accessibility"), iterations=1, rounds=1)
+    record_table(result)
+    pda_older = result.select(form_factor="pda", age_group="older")[0]
+    panel_older = result.select(form_factor="touch-panel",
+                                age_group="older")[0]
+    assert panel_older["compatible_fraction"] > pda_older["compatible_fraction"]
+
+
+def test_e2_autochannel_selfconfig(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E2-autochannel"), iterations=1, rounds=1)
+    record_table(result)
+    assert result.rows[1]["goodput_kbps"] > 1.5 * result.rows[0]["goodput_kbps"]

@@ -1,0 +1,33 @@
+"""E6: faculty assumptions inside vs outside the laboratory."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_e6_population_usability(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E6", population_size=100),
+        iterations=1, rounds=1)
+    record_table(result)
+    adapter_lab = result.select(platform="research-adapter",
+                                population="lab")[0]
+    adapter_public = result.select(platform="research-adapter",
+                                   population="public")[0]
+    soc_public = result.select(platform="commercial-soc",
+                               population="public")[0]
+    assert adapter_lab["usable_fraction"] > 0.9
+    assert adapter_public["usable_fraction"] < 0.2
+    assert soc_public["usable_fraction"] > 0.8
+
+
+def test_e6_fault_recovery(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E6-recovery"), iterations=1, rounds=1)
+    record_table(result)
+    for fault in ("adapter", "registry"):
+        rows = result.select(fault=fault)
+        auto = next(r for r in rows if r["remedy"] == "diagnostics")
+        unskilled = next(r for r in rows if "0.15" in r["remedy"])
+        assert auto["recovered"] and auto["outage_s"] < 15.0
+        assert not unskilled["recovered"]

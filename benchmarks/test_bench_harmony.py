@@ -1,0 +1,23 @@
+"""E7: intentional-layer harmony and adoption."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_e7_harmony_matrix(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E7", population_size=100),
+        iterations=1, rounds=1)
+    record_table(result)
+    cell = lambda p, pop: result.select(purpose=p, population=pop)[0]
+    # The paper's diagonal: each design serves its intended users.
+    assert cell("research-prototype", "researchers")["in_harmony_fraction"] > 0.9
+    assert cell("commercial-product",
+                "casual-presenters")["in_harmony_fraction"] > 0.9
+    # And the paper's admission about its own prototype.
+    assert cell("research-prototype",
+                "casual-presenters")["in_harmony_fraction"] < 0.1
+    # Adoption tracks harmony.
+    assert cell("commercial-product", "casual-presenters")["mean_adoption"] > \
+        cell("research-prototype", "casual-presenters")["mean_adoption"]

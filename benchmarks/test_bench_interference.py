@@ -1,0 +1,24 @@
+"""E2: effect of a high concentration of 2.4 GHz devices."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_e2_density_sweep(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E2", densities=(0, 2, 4, 8, 16, 32),
+                               duration=12.0),
+        iterations=1, rounds=1)
+    record_table(result)
+    cochannel = {row["interferer_pairs"]: row
+                 for row in result.select(channel_plan="cochannel")}
+    spread = {row["interferer_pairs"]: row
+              for row in result.select(channel_plan="spread")}
+    # Goodput collapses with co-channel density...
+    assert cochannel[32]["goodput_kbps"] < 0.7 * cochannel[0]["goodput_kbps"]
+    # ...contention overhead rises monotonically in the sweep's tail...
+    assert cochannel[32]["backoffs_per_frame"] > \
+        cochannel[4]["backoffs_per_frame"]
+    # ...and the 1/6/11 plan recovers most of the loss.
+    assert spread[32]["goodput_kbps"] > cochannel[32]["goodput_kbps"]

@@ -1,0 +1,56 @@
+"""E10: simulator scalability — event throughput vs deployment size.
+
+The paper says the effect of high device concentrations "needs to be
+studied"; studying it at scale needs a kernel that stays fast as the
+device count grows.  These are true microbenchmarks (pytest-benchmark
+statistics matter here, unlike the table-regeneration benches).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import interferer_field, projector_room
+from repro.kernel.scheduler import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator(seed=1, trace=False)
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+            if counter[0] < 20_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return counter[0]
+
+    events = benchmark(run_events)
+    assert events == 20_000
+
+
+@pytest.mark.parametrize("pairs", [4, 16, 32])
+def test_medium_scales_with_device_count(benchmark, pairs):
+    def run_dense():
+        room = projector_room(seed=2, trace=False, register=False)
+        interferer_field(room, pairs, frames_per_second=20.0)
+        room.sim.run(until=3.0)
+        return room.sim.events_executed
+
+    events = benchmark.pedantic(run_dense, iterations=1, rounds=3)
+    assert events > 0
+
+
+def test_full_room_startup(benchmark):
+    """Time to assemble and settle the complete Smart Projector room."""
+
+    def build():
+        room = projector_room(seed=3, trace=False)
+        room.sim.run(until=2.0)
+        return len(room.registry.items())
+
+    items = benchmark(build)
+    assert items == 2

@@ -1,0 +1,36 @@
+"""E3: ranging — range tables, distance sweeps and mobility."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_e3_range_table(benchmark, record_table):
+    result = benchmark.pedantic(lambda: run_experiment("E3-range-table"),
+                                iterations=1, rounds=1)
+    record_table(result)
+    ranges = result.column("range_m")
+    assert ranges == sorted(ranges, reverse=True)
+    assert ranges[0] > 150.0  # 1 Mb/s DSSS reaches well past 150 m indoors
+
+
+def test_e3_distance_sweep(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E3", duration=8.0), iterations=1, rounds=1)
+    record_table(result)
+    adaptive = {row["distance_m"]: row for row in result.select(mode="adaptive")}
+    pinned = {row["distance_m"]: row for row in result.select(mode="11Mbps")}
+    # Graceful degradation vs cliff.
+    assert adaptive[120]["goodput_kbps"] > 5 * pinned[120]["goodput_kbps"]
+    assert pinned[40]["delivery_ratio"] > 0.9
+
+
+def test_e3_mobility(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E3-mobility"), iterations=1, rounds=1)
+    record_table(result)
+    adaptive = result.select(mode="adaptive")[0]
+    pinned = result.select(mode="11Mbps")[0]
+    # Rate adaptation rides out the walk; the pinned rate suffers outages.
+    assert adaptive["delivery_ratio"] > 0.95
+    assert pinned["delivery_ratio"] < adaptive["delivery_ratio"]

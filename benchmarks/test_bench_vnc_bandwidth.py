@@ -1,0 +1,30 @@
+"""E1: VNC projection vs wireless bandwidth (the paper's physical-layer
+finding that low-bandwidth adapters prevent rapid animation)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_e1_bandwidth_sweep(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E1", duration=40.0), iterations=1, rounds=1)
+    record_table(result)
+    # Shape assertions: slides survive everywhere...
+    for row in result.select(content="slides"):
+        assert row["delivery_ratio"] >= 0.8
+    # ...while animation needs bandwidth.
+    animation = {row["rate"]: row for row in result.select(content="animation")}
+    assert animation["11Mbps"]["displayed_fps"] > \
+        4 * animation["2Mbps"]["displayed_fps"]
+    assert animation["1Mbps"]["displayed_fps"] < 1.0
+
+
+def test_e1_encoding_ablation(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E1-ablation", duration=30.0),
+        iterations=1, rounds=1)
+    record_table(result)
+    dirty = result.select(encoding="dirty-rect")[0]
+    full = result.select(encoding="full-frame")[0]
+    assert full["bytes_per_update"] > 2 * dirty["bytes_per_update"]

@@ -1,0 +1,26 @@
+"""E8: voice control vs the acoustic environment."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_e8_noise_sweep(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E8"), iterations=1, rounds=1)
+    record_table(result)
+    wers = result.column("word_error_rate")
+    assert wers == sorted(wers)  # monotone in ambient level
+    assert wers[0] < 0.2 and wers[-1] > 0.95
+    social = result.column("socially_ok")
+    # Quiet rooms: recognisable but socially inappropriate; loud rooms:
+    # acceptable to speak but unrecognisable — the paper's double bind.
+    assert social[0] < 0.5 and social[-1] > 0.5
+
+
+def test_e8_conversation_distance(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E8-conversation"), iterations=1, rounds=1)
+    record_table(result)
+    wers = result.column("word_error_rate")
+    assert wers == sorted(wers, reverse=True)  # farther chatter, better ASR

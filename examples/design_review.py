@@ -1,0 +1,63 @@
+"""A design review, run the way the paper intends the model to be used.
+
+Take a live deployment, build its LPC model in one call, generate the
+layered review checklist, walk the checklist recording findings from the
+constraint checks, and print the review pack — first for the paper's
+intended user (a researcher), then for the casual presenter the paper
+admits the prototype does not serve.
+
+Run:  python examples/design_review.py
+"""
+
+from __future__ import annotations
+
+from repro.core import Layer, build_checklist, model_from_room
+from repro.experiments.workloads import projector_room
+from repro.resource.faculties import casual_user, researcher
+
+
+def review_for(user_label, faculties) -> None:
+    print("=" * 72)
+    print(f"REVIEW: Smart Projector deployment, presenter = {user_label}")
+    print("=" * 72)
+
+    room = projector_room(seed=500, register=False)
+    model = model_from_room(room, presenter_faculties=faculties)
+
+    checklist = build_checklist(model)
+
+    # Walk the checklist: constraint results become findings on the
+    # matching layer's items.
+    for layer in Layer:
+        layer_checks = model.checks(layer)
+        for item in checklist.section(layer):
+            if not layer_checks:
+                continue
+            worst = min(layer_checks, key=lambda c: c.score)
+            if worst.satisfied:
+                item.resolve()
+            else:
+                item.resolve("; ".join(worst.details))
+
+    print(checklist.render())
+    print()
+    print(f"constraint violations: {len(model.violations())}")
+    health = model.layer_health()
+    for layer in sorted(Layer, reverse=True):
+        bar = "#" * int(round(health[layer] * 20))
+        print(f"  {layer.title:12s} {bar:20s} {health[layer]:.2f}")
+    print()
+
+
+def main() -> None:
+    review_for("lab researcher (intended user)", researcher("reviewer-r"))
+    review_for("casual presenter (the world outside)",
+               casual_user("reviewer-c"))
+    print("The same deployment, two different humans: the research "
+          "prototype reviews\nclean for its intended users and lights up "
+          "every upper layer for casual ones\n— the paper's intentional-"
+          "layer lesson as a review artifact.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — an executable reproduction of *A Conceptual Model for Pervasive
+Computing* (Ciarletta & Dima, 2000).
+
+The package builds the paper twice over:
+
+* :mod:`repro.core` — the **Layered Pervasive Computing model** itself:
+  five layers, dual device/user columns, per-layer constraint relations,
+  issue classification, analysis reports, and regenerated figures.
+* everything else — the **Aroma substrate** the paper's analysis runs on:
+  a deterministic discrete-event kernel (:mod:`repro.kernel`), the 2.4 GHz
+  environment (:mod:`repro.env`), physical devices and users
+  (:mod:`repro.phys`), networking (:mod:`repro.net`), the resource layer
+  (:mod:`repro.resource`), Jini-style discovery (:mod:`repro.discovery`),
+  the Smart Projector services (:mod:`repro.services`), simulated users
+  (:mod:`repro.user`), measurement (:mod:`repro.metrics`) and the
+  experiment suite (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import Simulator, projector_room, presentation_workflow
+
+    room = projector_room(seed=1)
+    presentation_workflow(room)
+    room.sim.run(until=30.0)
+    print(room.projector.frames_displayed)
+"""
+
+from .core import (
+    Column,
+    Layer,
+    LPCInstrument,
+    LPCModel,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    smart_projector_model,
+)
+from .experiments import (
+    ExperimentResult,
+    list_experiments,
+    presentation_workflow,
+    projector_room,
+    run_experiment,
+)
+from .kernel import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Column",
+    "ExperimentResult",
+    "LPCInstrument",
+    "LPCModel",
+    "Layer",
+    "Simulator",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "list_experiments",
+    "presentation_workflow",
+    "projector_room",
+    "run_experiment",
+    "smart_projector_model",
+    "__version__",
+]

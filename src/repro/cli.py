@@ -1,0 +1,129 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``figures [N]`` — render the paper's figures (all, or one of 1-5).
+* ``experiments`` — list every registered experiment id.
+* ``run <id> [--seed S]`` — run one experiment and print its table.
+* ``demo [--seed S] [--horizon T]`` — run the instrumented Smart Projector
+  scenario and print the layered LPC report plus paper coverage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.analysis import compare_with_paper
+from .core.figures import ALL_FIGURES, render_all
+from .experiments import list_experiments, run_experiment
+from .kernel.errors import ExperimentError, ReproError
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    if args.number is None:
+        print(render_all())
+        return 0
+    renderer = ALL_FIGURES.get(args.number)
+    if renderer is None:
+        print(f"no figure {args.number}; choose from {sorted(ALL_FIGURES)}",
+              file=sys.stderr)
+        return 2
+    print(renderer())
+    return 0
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    for experiment_id in list_experiments():
+        print(experiment_id)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    try:
+        result = run_experiment(args.experiment_id, **kwargs)
+    except ExperimentError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except TypeError:
+        # Experiment without a seed parameter: run with defaults.
+        result = run_experiment(args.experiment_id)
+    print(result.format_table())
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .experiments.e9_analysis import _scripted_week
+
+    room, model, _instrument = _scripted_week(seed=args.seed,
+                                              horizon=args.horizon)
+    print(model.report())
+    print()
+    print(compare_with_paper(model.concerns()).summary())
+    print(f"\nframes projected during the scripted week: "
+          f"{room.projector.frames_displayed}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Executable reproduction of 'A Conceptual Model for "
+                    "Pervasive Computing' (Ciarletta & Dima, 2000)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="render the paper's figures")
+    figures.add_argument("number", nargs="?", type=int, default=None,
+                         help="figure number 1-5 (default: all)")
+    figures.set_defaults(func=_cmd_figures)
+
+    experiments = sub.add_parser("experiments",
+                                 help="list experiment ids")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment_id")
+    run.add_argument("--seed", type=int, default=None)
+    run.set_defaults(func=_cmd_run)
+
+    demo = sub.add_parser("demo", help="instrumented Smart Projector demo")
+    demo.add_argument("--seed", type=int, default=42)
+    demo.add_argument("--horizon", type=float, default=240.0)
+    demo.set_defaults(func=_cmd_demo)
+
+    report = sub.add_parser(
+        "report", help="run every experiment and print the full report")
+    report.add_argument("--budget", choices=("quick", "full"),
+                        default="quick")
+    report.add_argument("--only", nargs="*", default=None,
+                        help="subset of experiment ids")
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import build_report
+
+    print(build_report(budget=args.budget, only=args.only))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # output piped into head etc.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

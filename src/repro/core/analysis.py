@@ -1,0 +1,135 @@
+"""Post-run analysis: compare an observed issue inventory with the
+paper's own Smart Projector walkthrough.
+
+Experiment E9's engine.  Matching between an observed concern and a
+stated paper item is *semantic-lite*: same layer plus keyword overlap —
+good enough to score coverage without a language model, and fully
+transparent in the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .concerns import Concern
+from .layers import Layer
+from .model import LPCModel
+from .paper import paper_inventory, user_column_items
+
+#: Hand-curated signature keywords for each paper item family; an observed
+#: concern covers a paper item when they share a layer and a signature hits
+#: both texts.
+_SIGNATURES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("session", ("session", "hijack", "in use", "holds", "denied",
+                 "one person", "at a time", "multiple users")),
+    ("relinquish", ("relinquish", "stale", "expire", "force-released",
+                    "reclaimed")),
+    ("vnc-server", ("vnc", "server down", "no update")),
+    ("two-clients", ("both clients", "skipped step", "incomplete mental")),
+    ("language", ("english", "language", "speaks")),
+    ("gui", ("graphical", "gui", "literacy")),
+    ("admin", ("administrat", "fix", "repair", "skill", "wedged", "jammed",
+               "lookup service down")),
+    ("lookup", ("lookup", "registry", "registration", "re-register")),
+    ("bandwidth", ("bandwidth", "animation", "too slow", "rate", "stall")),
+    ("proximity", ("proximity", "reach", "tether", "constrain")),
+    ("interference", ("interferen", "2.4", "concentration", "density",
+                      "decode failure", "collision")),
+    ("noise", ("noise", "voice", "recognition", "socially")),
+    ("harmony", ("harmony", "abandon", "casual", "research", "goal",
+                 "commercial")),
+    ("power", ("battery", "drained", "power")),
+    ("storage", ("storage", "organise", "organize", "flat store")),
+    ("abort", ("abort", "single-threaded", "waited", "interactive")),
+    ("diagnostics", ("diagnostic", "fault tolerance", "recovery",
+                     "lacks the skill")),
+    ("voice-physical", ("voice control", "speech level", "clarity")),
+    ("runtime", ("java", "vnc runtime", "runtime is present",
+                 "expected present")),
+    ("icons", ("icon", "availability", "no longer available")),
+)
+
+
+def _signatures_in(text: str) -> Set[str]:
+    lowered = text.lower()
+    return {name for name, keywords in _SIGNATURES
+            if any(k in lowered for k in keywords)}
+
+
+@dataclass
+class CoverageItem:
+    """One paper item and the observed concerns that cover it."""
+
+    stated: Concern
+    matched_by: List[Concern] = field(default_factory=list)
+
+    @property
+    def covered(self) -> bool:
+        return bool(self.matched_by)
+
+
+@dataclass
+class CoverageReport:
+    """How much of the paper's inventory a run re-discovered."""
+
+    items: List[CoverageItem]
+    extras: List[Concern]    #: observed concerns matching no paper item
+
+    @property
+    def coverage(self) -> float:
+        if not self.items:
+            return 0.0
+        return sum(i.covered for i in self.items) / len(self.items)
+
+    def coverage_by_layer(self) -> Dict[Layer, Tuple[int, int]]:
+        """layer -> (covered, total) of paper items."""
+        out: Dict[Layer, Tuple[int, int]] = {}
+        for layer in Layer:
+            layer_items = [i for i in self.items if i.stated.layer == layer]
+            covered = sum(i.covered for i in layer_items)
+            out[layer] = (covered, len(layer_items))
+        return out
+
+    def summary(self) -> str:
+        lines = [f"paper-issue coverage: {self.coverage:.0%} "
+                 f"({sum(i.covered for i in self.items)}/{len(self.items)})"]
+        for layer, (covered, total) in self.coverage_by_layer().items():
+            lines.append(f"  {layer.title:12s} {covered}/{total}")
+        if self.extras:
+            lines.append(f"  + {len(self.extras)} observed concerns beyond "
+                         "the paper's list")
+        return "\n".join(lines)
+
+
+def compare_with_paper(observed: List[Concern],
+                       include_user_column: bool = True) -> CoverageReport:
+    """Match observed concerns against the paper's inventory.
+
+    Args:
+        observed: concerns from a run (e.g. ``model.concerns()``).
+        include_user_column: when False, user-column paper items are kept
+            in the total but cannot be matched — quantifying what a
+            device-only model loses (the E9 ablation).
+    """
+    user_texts = {c.description for c in user_column_items()}
+    items = [CoverageItem(stated) for stated in paper_inventory()]
+    matched_observed: Set[int] = set()
+    for item in items:
+        if not include_user_column and item.stated.description in user_texts:
+            continue
+        stated_sigs = _signatures_in(item.stated.description)
+        for idx, concern in enumerate(observed):
+            if concern.layer != item.stated.layer:
+                continue
+            if stated_sigs & _signatures_in(concern.description):
+                item.matched_by.append(concern)
+                matched_observed.add(idx)
+    extras = [c for i, c in enumerate(observed) if i not in matched_observed]
+    return CoverageReport(items, extras)
+
+
+def analyze_model(model: LPCModel,
+                  include_user_column: bool = True) -> CoverageReport:
+    """Convenience: coverage report straight from a populated model."""
+    return compare_with_paper(model.concerns(), include_user_column)

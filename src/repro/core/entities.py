@@ -1,0 +1,98 @@
+"""Model entities: the things an LPC analysis is *about*.
+
+The paper's Smart Projector walkthrough names "four major physical and
+logical entities" and analyses each at every applicable layer.  A
+:class:`ModelEntity` therefore carries *facets*: per-layer, per-column
+views onto concrete library objects (a ``FormFactor`` at the physical
+layer, a ``PlatformProfile`` at the resource layer, a ``SessionManager``
+at the abstract layer...), so the conceptual model stays attached to the
+running system it describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..kernel.errors import ModelError
+from .layers import Column, Layer
+
+#: Entity kinds used by reports.
+KINDS = ("device", "user", "service", "infrastructure")
+
+
+@dataclass
+class Facet:
+    """One entity's presence at one layer."""
+
+    layer: Layer
+    column: Column
+    description: str
+    #: the concrete library object backing this facet, if any.
+    subject: Any = None
+
+
+class ModelEntity:
+    """A named participant in a pervasive computing system."""
+
+    def __init__(self, name: str, kind: str) -> None:
+        if kind not in KINDS:
+            raise ModelError(f"unknown entity kind {kind!r}; use one of {KINDS}")
+        self.name = name
+        self.kind = kind
+        self._facets: List[Facet] = []
+
+    @property
+    def default_column(self) -> Column:
+        return Column.USER if self.kind == "user" else Column.DEVICE
+
+    def add_facet(self, layer: Layer, description: str, subject: Any = None,
+                  column: Optional[Column] = None) -> Facet:
+        facet = Facet(layer, column or self.default_column, description, subject)
+        self._facets.append(facet)
+        return facet
+
+    def facets(self, layer: Optional[Layer] = None) -> List[Facet]:
+        if layer is None:
+            return list(self._facets)
+        return [f for f in self._facets if f.layer == layer]
+
+    def layers(self) -> Tuple[Layer, ...]:
+        return tuple(sorted({f.layer for f in self._facets}))
+
+    def facet_at(self, layer: Layer) -> Optional[Facet]:
+        for facet in self._facets:
+            if facet.layer == layer:
+                return facet
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ModelEntity {self.name} ({self.kind}) layers={[l.name for l in self.layers()]}>"
+
+
+def smart_projector_entities() -> List[ModelEntity]:
+    """The paper's four major entities, with the facets its analysis
+    mentions — used as the default population of an LPC model and by the
+    figure/report tests."""
+    presenter = ModelEntity("presenter", "user")
+    presenter.add_facet(Layer.PHYSICAL, "the presenter's body; proximity to the laptop")
+    presenter.add_facet(Layer.RESOURCE, "GUI literacy, English, projector know-how")
+    presenter.add_facet(Layer.ABSTRACT, "mental model of two services and sessions")
+    presenter.add_facet(Layer.INTENTIONAL, "wants to make a presentation without ceremony")
+
+    laptop = ModelEntity("laptop", "device")
+    laptop.add_facet(Layer.PHYSICAL, "presentation laptop with 2.4 GHz WLAN card")
+    laptop.add_facet(Layer.RESOURCE, "Java, VNC server, window system, WLAN stack")
+    laptop.add_facet(Layer.ABSTRACT, "projection + control clients, VNC server process")
+
+    projector = ModelEntity("smart-projector", "device")
+    projector.add_facet(Layer.PHYSICAL, "digital projector + Aroma Adapter hardware")
+    projector.add_facet(Layer.RESOURCE, "Linux/JVM runtime on the adapter, WLAN")
+    projector.add_facet(Layer.ABSTRACT, "projection & control services, session objects")
+    projector.add_facet(Layer.INTENTIONAL, "built to research service discovery")
+
+    lookup = ModelEntity("jini-lookup", "infrastructure")
+    lookup.add_facet(Layer.RESOURCE, "lookup service assumed present on the network")
+    lookup.add_facet(Layer.ABSTRACT, "registration, lookup, leases, remote events")
+
+    return [presenter, laptop, projector, lookup]

@@ -1,0 +1,72 @@
+"""Live instrumentation: attach the conceptual model to a running
+simulation.
+
+Every substrate package emits ``issue.*`` trace records when it hits the
+failure modes the paper describes (queue collapse, lease expiry, skipped
+steps, drained batteries...).  :class:`LPCInstrument` subscribes to that
+stream, classifies each issue into a layer, deduplicates repeats, and
+feeds an :class:`~repro.core.model.LPCModel` — so after a run, the model's
+report *is* the paper's analysis section, regenerated from observation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..kernel.scheduler import Simulator
+from ..kernel.trace import TraceRecord
+from .concerns import Concern
+from .layers import Layer
+from .model import LPCModel
+
+
+class LPCInstrument:
+    """Subscribes to a simulator's issue stream and populates a model.
+
+    Args:
+        sim: the simulator to observe.
+        model: the model to populate.
+        user_sources: trace sources that belong to the user column
+            (defaults to the model's user entities).
+        dedup: fold repeated identical issues into one concern with a
+            count, keeping reports readable on long runs.
+    """
+
+    def __init__(self, sim: Simulator, model: LPCModel,
+                 user_sources: Optional[Iterable[str]] = None,
+                 dedup: bool = True) -> None:
+        self.sim = sim
+        self.model = model
+        self.dedup = dedup
+        self.user_sources = set(user_sources if user_sources is not None
+                                else model.user_entities())
+        self.classifier = model.classifier
+        self._seen: Dict[Tuple[str, str, str], Concern] = {}
+        self.observed = 0
+        # Catch up on anything already in the trace, then follow live.
+        for record in sim.tracer.issues():
+            self._ingest(record)
+        self._unsubscribe = sim.tracer.subscribe("issue", self._ingest)
+
+    # ------------------------------------------------------------------
+    def _ingest(self, record: TraceRecord) -> None:
+        self.observed += 1
+        topic = record.category.split(".", 1)[1] if "." in record.category else ""
+        key = (topic, record.source, record.message)
+        if self.dedup and key in self._seen:
+            self._seen[key].count += 1
+            return
+        concern = self.classifier.from_trace(record, self.user_sources)
+        if self.dedup:
+            self._seen[key] = concern
+        self.model.extend_concerns([concern])
+
+    def detach(self) -> None:
+        self._unsubscribe()
+
+    # ------------------------------------------------------------------
+    def layer_counts(self) -> Dict[Layer, int]:
+        return self.model.concern_counts()
+
+    def distinct_concerns(self) -> List[Concern]:
+        return self.model.concerns()

@@ -1,0 +1,116 @@
+"""The Layered Pervasive Computing (LPC) model's structural vocabulary.
+
+Five layers, two columns, and one defining cross-column relation per
+layer — Figure 1 of the paper as data.  Everything else in
+:mod:`repro.core` (entities, constraints, classification, figures) is
+built from these definitions, so the rendered figures and the analysis
+reports always agree with the model itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+from ..kernel.errors import ModelError
+
+
+class Layer(enum.IntEnum):
+    """The five LPC layers, bottom-up."""
+
+    ENVIRONMENT = 0
+    PHYSICAL = 1
+    RESOURCE = 2
+    ABSTRACT = 3
+    INTENTIONAL = 4
+
+    @property
+    def title(self) -> str:
+        return self.name.capitalize()
+
+
+class Column(enum.Enum):
+    """Which side of the model an artifact belongs to.
+
+    The environment layer is shared: it sits beneath both columns.
+    """
+
+    DEVICE = "device"
+    USER = "user"
+    SHARED = "shared"
+
+
+#: The device-side artifact each layer holds (Figure 1, left column).
+DEVICE_SIDE: Dict[Layer, str] = {
+    Layer.ENVIRONMENT: "Environment",
+    Layer.PHYSICAL: "Physical Devices",
+    Layer.RESOURCE: "Mem | Sto | Exe | UI | Net",
+    Layer.ABSTRACT: "Application",
+    Layer.INTENTIONAL: "Design Purpose",
+}
+
+#: The user-side artifact each layer holds (Figure 1, right column).
+USER_SIDE: Dict[Layer, str] = {
+    Layer.ENVIRONMENT: "Environment",
+    Layer.PHYSICAL: "Physical User",
+    Layer.RESOURCE: "User Faculties",
+    Layer.ABSTRACT: "Mental Models",
+    Layer.INTENTIONAL: "User Goals",
+}
+
+#: The defining cross-column relation of each layer (Figures 2-5).
+RELATIONS: Dict[Layer, str] = {
+    Layer.ENVIRONMENT: "communicates with / must cope with",
+    Layer.PHYSICAL: "must be compatible with",
+    Layer.RESOURCE: "must not be frustrated by",
+    Layer.ABSTRACT: "must be consistent with",
+    Layer.INTENTIONAL: "must be in harmony with",
+}
+
+#: The five resource boxes of Figure 3 with their expansions.
+RESOURCE_BOXES: Tuple[Tuple[str, str], ...] = (
+    ("Mem", "Memory"),
+    ("Sto", "Non-volatile Storage"),
+    ("Exe", "Execution Engine"),
+    ("UI", "User Interface"),
+    ("Net", "Networking"),
+)
+
+#: Sub-structure of the abstract layer (Figure 4).
+ABSTRACT_USER_PARTS: Tuple[str, ...] = ("User Reasoning", "User Expectations")
+ABSTRACT_DEVICE_PARTS: Tuple[str, ...] = ("Software Logic", "Software State")
+
+
+def device_abstraction_rank(layer: Layer) -> int:
+    """Device column: higher layers are *more abstract* (OSI-style)."""
+    return int(layer)
+
+
+def user_temporal_rank(layer: Layer) -> int:
+    """User column: higher layers are *more temporally specific* — they
+    change faster.  "A user's goals ... may change by the minute, but his
+    physical characteristics take much longer to change."
+
+    Returns a rank where 0 changes slowest.  The environment is excluded
+    (it is not a user stratum).
+    """
+    if layer == Layer.ENVIRONMENT:
+        raise ModelError("the environment is not a user stratum")
+    return int(layer) - 1
+
+
+#: Indicative timescale on which each user stratum changes.
+USER_TIMESCALES: Dict[Layer, str] = {
+    Layer.PHYSICAL: "years (physiology)",
+    Layer.RESOURCE: "weeks-months (faculties, trainable)",
+    Layer.ABSTRACT: "minutes-hours (mental models)",
+    Layer.INTENTIONAL: "minutes (goals)",
+}
+
+
+def layers_bottom_up() -> Tuple[Layer, ...]:
+    return tuple(sorted(Layer))
+
+
+def layers_top_down() -> Tuple[Layer, ...]:
+    return tuple(sorted(Layer, reverse=True))

@@ -1,0 +1,92 @@
+"""Build an LPC model straight from a live deployment.
+
+``model_from_room`` inspects an assembled Smart Projector room (any object
+shaped like :class:`repro.experiments.workloads.Room`) plus a presenter
+description, creates the model entities with facets backed by the *actual*
+library objects, and runs every applicable cross-column constraint check —
+one call from "running system" to "layered analysis".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..phys.human import PhysicalProfile
+from ..resource.faculties import FacultyProfile, researcher
+from ..user.goals import presentation_goal, research_prototype_purpose
+from .constraints import (
+    check_intentional_harmony,
+    check_physical_compatibility,
+    check_radio_environment,
+    check_resource_match,
+)
+from .entities import ModelEntity
+from .layers import Layer
+from .model import LPCModel
+
+
+def model_from_room(room, *,
+                    presenter_faculties: Optional[FacultyProfile] = None,
+                    presenter_body: Optional[PhysicalProfile] = None,
+                    goal=None, purpose=None) -> LPCModel:
+    """Construct and pre-check an LPC model for a running room.
+
+    Args:
+        room: an assembled deployment (``projector_room()`` result).
+        presenter_faculties: the presenter's skills (default: researcher —
+            the paper's intended user).
+        presenter_body: the presenter's physiology.
+        goal / purpose: intentional-layer artifacts (defaults: the paper's
+            presentation goal and research-prototype purpose).
+    """
+    faculties = presenter_faculties or researcher("presenter")
+    body = presenter_body or PhysicalProfile("presenter")
+    goal = goal or presentation_goal()
+    purpose = purpose or research_prototype_purpose()
+
+    model = LPCModel(f"deployment:{room.adapter.name}")
+
+    presenter = ModelEntity("presenter", "user")
+    presenter.add_facet(Layer.PHYSICAL, "the presenter's body", body)
+    presenter.add_facet(Layer.RESOURCE, "the presenter's faculties",
+                        faculties)
+    presenter.add_facet(Layer.INTENTIONAL, goal.name, goal)
+    model.add_entity(presenter)
+
+    laptop = ModelEntity(room.laptop.name, "device")
+    laptop.add_facet(Layer.PHYSICAL, "presentation laptop", room.laptop.form)
+    laptop.add_facet(Layer.RESOURCE, "laptop platform", room.laptop.platform)
+    model.add_entity(laptop)
+
+    projector = ModelEntity(room.adapter.name, "device")
+    projector.add_facet(Layer.PHYSICAL, "adapter + projector hardware",
+                        room.adapter.form)
+    projector.add_facet(Layer.RESOURCE, "adapter platform",
+                        room.adapter.platform)
+    projector.add_facet(Layer.ABSTRACT, "projection & control services",
+                        room.smart)
+    projector.add_facet(Layer.INTENTIONAL, purpose.name, purpose)
+    model.add_entity(projector)
+
+    lookup = ModelEntity(room.registry.registry_id, "infrastructure")
+    lookup.add_facet(Layer.RESOURCE, "lookup service presence",
+                     room.registry)
+    lookup.add_facet(Layer.ABSTRACT, "registration/lookup/leases",
+                     room.registry)
+    model.add_entity(lookup)
+
+    # Constraint checks against the live geometry and artifacts. ---------
+    distance = float(room.world.distances_from(
+        room.laptop.name, [room.adapter.name])[0])
+    model.record_check(check_radio_environment(
+        room.medium.propagation, distance, required_rate_bps=2e6,
+        subject=f"{room.laptop.name}->{room.adapter.name} link"))
+    model.record_check(check_physical_compatibility(room.laptop.form, body))
+    if room.laptop.platform is not None:
+        model.record_check(check_resource_match(room.laptop.platform,
+                                                faculties))
+    if room.adapter.platform is not None:
+        model.record_check(check_resource_match(room.adapter.platform,
+                                                faculties))
+    model.record_check(check_intentional_harmony(purpose, goal, faculties))
+    return model

@@ -1,0 +1,101 @@
+"""The paper's own Smart Projector issue inventory, as data.
+
+Section "Analysis of a Pervasive Computing System" walks the prototype
+through all five layers and names concrete issues at each.  This module
+transcribes that inventory so experiment E9 can measure how much of it
+our *simulated* run re-discovers, and the ablation can show what is lost
+when the user column is removed from the model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .concerns import Concern
+from .layers import Column, Layer
+
+#: (layer, column, user_column_required, description)
+#: ``user_column_required`` marks issues that only exist because the model
+#: keeps the human in view — the paper's core argument.
+_PAPER_ITEMS: Tuple[Tuple[Layer, Column, bool, str], ...] = (
+    # Intentional
+    (Layer.INTENTIONAL, Column.USER, True,
+     "research-oriented design is not in harmony with casual users "
+     "expecting a commercial-grade product"),
+    (Layer.INTENTIONAL, Column.DEVICE, False,
+     "design purpose: research, measure and demonstrate service discovery"),
+    # Abstract
+    (Layer.ABSTRACT, Column.USER, True,
+     "user must understand both clients must be started to project and control"),
+    (Layer.ABSTRACT, Column.USER, True,
+     "user must stop both clients when finished"),
+    (Layer.ABSTRACT, Column.USER, True,
+     "user must realize the VNC server must be started on the laptop"),
+    (Layer.ABSTRACT, Column.USER, True,
+     "user must realize only one person can use either service at a time"),
+    (Layer.ABSTRACT, Column.DEVICE, False,
+     "session objects prevent another user hijacking use or control"),
+    (Layer.ABSTRACT, Column.DEVICE, False,
+     "desktop icons should reflect current service availability"),
+    (Layer.ABSTRACT, Column.DEVICE, False,
+     "gracefully resolve multiple users accessing services in different orders"),
+    (Layer.ABSTRACT, Column.DEVICE, False,
+     "deal with users who forget to relinquish control without an administrator"),
+    # Resource
+    (Layer.RESOURCE, Column.DEVICE, False,
+     "Java technologies and VNC expected present on the user's laptop"),
+    (Layer.RESOURCE, Column.DEVICE, False,
+     "automatic discovery relies on a Jini lookup service being present"),
+    (Layer.RESOURCE, Column.USER, True,
+     "users assumed to understand graphical user interfaces"),
+    (Layer.RESOURCE, Column.USER, True,
+     "users assumed to speak English"),
+    (Layer.RESOURCE, Column.USER, True,
+     "users assumed able to fix wireless, Linux adapter and lookup problems"),
+    (Layer.RESOURCE, Column.DEVICE, False,
+     "needs deployment, automated diagnostics, fault tolerance and recovery, "
+     "internationalization and accessibility work"),
+    # Physical
+    (Layer.PHYSICAL, Column.DEVICE, False,
+     "low bandwidth of current wireless adapters prevents rapid animation"),
+    (Layer.PHYSICAL, Column.USER, True,
+     "controlling via the laptop constrains the presenter to its proximity"),
+    (Layer.PHYSICAL, Column.USER, True,
+     "voice control would make human physical characteristics matter more"),
+    # Environment
+    (Layer.ENVIRONMENT, Column.SHARED, False,
+     "2.4 GHz band: ranging, radio interference and scaling constraints"),
+    (Layer.ENVIRONMENT, Column.SHARED, False,
+     "effect of a high concentration of 2.4 GHz devices needs study"),
+    (Layer.ENVIRONMENT, Column.SHARED, True,
+     "background noise becomes objectionable if voice recognition is used"),
+    (Layer.ENVIRONMENT, Column.SHARED, True,
+     "voice-based devices may be socially inappropriate in cramped offices"),
+)
+
+
+def paper_inventory() -> List[Concern]:
+    """The paper's issues as :class:`Concern` objects (source='stated')."""
+    return [Concern(text, layer, column, source="stated")
+            for layer, column, _user, text in _PAPER_ITEMS]
+
+
+def paper_inventory_by_layer() -> Dict[Layer, List[Concern]]:
+    out: Dict[Layer, List[Concern]] = {layer: [] for layer in Layer}
+    for concern in paper_inventory():
+        out[concern.layer].append(concern)
+    return out
+
+
+def user_column_items() -> List[Concern]:
+    """The subset of the inventory that exists only because the user is in
+    the model — dropping the user column loses all of these."""
+    return [Concern(text, layer, column, source="stated")
+            for layer, column, user, text in _PAPER_ITEMS if user]
+
+
+def layer_counts() -> Dict[Layer, int]:
+    counts: Dict[Layer, int] = {layer: 0 for layer in Layer}
+    for layer, _column, _user, _text in _PAPER_ITEMS:
+        counts[layer] += 1
+    return counts

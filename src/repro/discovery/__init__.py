@@ -1,0 +1,78 @@
+"""Jini-style service discovery middleware.
+
+"Service discovery, self-configuration, and dynamic resource sharing" is
+the second of the Aroma project's research areas; this package is its
+implementation: multicast registrar discovery, leased registrations,
+template lookup, mobile-code proxies, and remote events.
+"""
+
+from .client import (
+    RENEW_FRACTION,
+    ServiceDiscoveryClient,
+    ServiceRegistration,
+    Subscription,
+)
+from .events import ADDED, EXPIRED, REMOVED, EventMailbox, RemoteEvent
+from .leases import Lease, LeaseTable
+from .protocol import (
+    ANNOUNCE_GROUP,
+    AnnouncingRegistry,
+    DiscoveryAgent,
+    DiscoveryRequest,
+    REQUEST_GROUP,
+    RegistryLocator,
+)
+from .records import (
+    MATCH_ALL,
+    ServiceItem,
+    ServiceProxy,
+    ServiceTemplate,
+    new_service_id,
+)
+from .registry import (
+    EVENT_PORT,
+    REGISTRY_PORT,
+    CancelRequest,
+    LookupRequest,
+    LookupService,
+    NotifyRequest,
+    RegisterRequest,
+    RenewRequest,
+    Reply,
+    new_request_id,
+)
+
+__all__ = [
+    "ADDED",
+    "ANNOUNCE_GROUP",
+    "AnnouncingRegistry",
+    "CancelRequest",
+    "DiscoveryAgent",
+    "DiscoveryRequest",
+    "EVENT_PORT",
+    "EXPIRED",
+    "EventMailbox",
+    "Lease",
+    "LeaseTable",
+    "LookupRequest",
+    "LookupService",
+    "MATCH_ALL",
+    "NotifyRequest",
+    "REGISTRY_PORT",
+    "REMOVED",
+    "RENEW_FRACTION",
+    "REQUEST_GROUP",
+    "RegisterRequest",
+    "RegistryLocator",
+    "RemoteEvent",
+    "RenewRequest",
+    "Reply",
+    "ServiceDiscoveryClient",
+    "ServiceItem",
+    "ServiceProxy",
+    "ServiceRegistration",
+    "ServiceTemplate",
+    "Subscription",
+    "new_request_id",
+    "new_service_id",
+]

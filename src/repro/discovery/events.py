@@ -1,0 +1,74 @@
+"""Remote events: asynchronous service-change notifications.
+
+Jini's ``RemoteEvent`` mechanism, as the paper's abstract-layer analysis
+needs it: "if the Smart Projector's services are currently not available,
+the icons on the user's desktop should change their appearance
+accordingly" — that UI behaviour is driven by exactly these notifications.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Set
+
+from .records import ServiceItem
+
+#: Event kinds a lookup service emits.
+ADDED = "added"
+REMOVED = "removed"
+EXPIRED = "expired"
+
+_event_seq = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class RemoteEvent:
+    """One notification about a matched service transition."""
+
+    sequence: int
+    kind: str            #: ADDED / REMOVED / EXPIRED
+    item: ServiceItem
+    registration_id: int  #: the notify registration this event belongs to
+
+    @property
+    def wire_bytes(self) -> int:
+        return 32 + self.item.wire_bytes - self.item.proxy.code_bytes
+
+
+def next_event_sequence() -> int:
+    return next(_event_seq)
+
+
+class EventMailbox:
+    """Client-side event receiver with duplicate suppression.
+
+    The transport may deliver an event twice (lost ACKs cause sender
+    retries); the mailbox deduplicates by sequence number, and reports
+    gaps so callers can resynchronise with a fresh lookup — the same
+    contract Jini gives its listeners.
+    """
+
+    def __init__(self, on_event: Callable[[RemoteEvent], None]) -> None:
+        self.on_event = on_event
+        self._seen: Set[int] = set()
+        self._highest: Dict[int, int] = {}  # registration -> highest sequence
+        self.delivered = 0
+        self.duplicates = 0
+        self.gaps_detected = 0
+
+    def deliver(self, event: RemoteEvent) -> bool:
+        """Process one inbound event; returns False for duplicates."""
+        if event.sequence in self._seen:
+            self.duplicates += 1
+            return False
+        self._seen.add(event.sequence)
+        highest = self._highest.get(event.registration_id)
+        if highest is not None and event.sequence > highest + 1:
+            # Sequence gap: some earlier event never arrived.
+            self.gaps_detected += 1
+        self._highest[event.registration_id] = max(
+            highest or 0, event.sequence)
+        self.delivered += 1
+        self.on_event(event)
+        return True

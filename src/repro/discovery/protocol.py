@@ -1,0 +1,168 @@
+"""Multicast discovery of the lookup service itself.
+
+Before anything can be looked up, clients must find the registrar.  The
+Jini discovery protocol has two halves, both modelled here:
+
+* **announcement** — the registrar periodically multicasts its locator;
+* **request** — an impatient client multicasts a request and the registrar
+  unicasts its locator back.
+
+Both ride :class:`repro.net.multicast.MulticastService` datagrams, which
+ride broadcast frames, which are *unacknowledged* — so discovery latency
+degrades with radio loss, which is exactly what experiment E4 sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..kernel.errors import ConfigurationError
+from ..kernel.scheduler import Simulator
+
+#: Multicast group for registrar announcements.
+ANNOUNCE_GROUP = "jini.announce"
+#: Multicast group for client discovery requests.
+REQUEST_GROUP = "jini.request"
+
+ANNOUNCEMENT_BYTES = 96
+REQUEST_BYTES = 48
+
+
+@dataclass(frozen=True)
+class RegistryLocator:
+    """Enough information to reach a lookup service."""
+
+    registry_id: str
+    address: str
+    port: int
+
+
+@dataclass(frozen=True)
+class DiscoveryRequest:
+    requester: str
+
+
+class AnnouncingRegistry:
+    """Server side: periodic announcements + responses to requests."""
+
+    def __init__(self, sim: Simulator, device, locator: RegistryLocator,
+                 announce_interval: float = 10.0) -> None:
+        if announce_interval <= 0:
+            raise ConfigurationError("announce interval must be positive")
+        self.sim = sim
+        self.device = device
+        self.locator = locator
+        self.announce_interval = announce_interval
+        self.announcements = 0
+        self.request_replies = 0
+        device.multicast.join(REQUEST_GROUP, self._on_request)
+        # First announcement goes out promptly, then periodically.
+        self._task = sim.every(announce_interval, self.announce, start=0.05)
+
+    def announce(self) -> None:
+        self.announcements += 1
+        self.device.multicast.send(ANNOUNCE_GROUP, self.locator,
+                                   ANNOUNCEMENT_BYTES)
+
+    def _on_request(self, src: str, data) -> None:
+        if not isinstance(data, DiscoveryRequest):
+            return
+        self.request_replies += 1
+        # Unicast the locator straight back (still best-effort datagram).
+        self.device.stack.send(data.requester, self.locator,
+                               ANNOUNCEMENT_BYTES, port=_UNICAST_LOCATOR_PORT,
+                               kind="mgmt")
+
+    def stop(self) -> None:
+        self._task.cancel()
+
+
+#: Port unicast locator replies arrive on at the client.
+_UNICAST_LOCATOR_PORT: int = 9
+
+
+class DiscoveryAgent:
+    """Client side: listens for announcements and can actively probe.
+
+    ``on_found(locator)`` fires once per distinct registry (re-announcements
+    refresh the freshness timestamp silently).
+    """
+
+    def __init__(self, sim: Simulator, device,
+                 probe_interval: float = 1.0, max_probes: int = 10) -> None:
+        if probe_interval <= 0 or max_probes < 1:
+            raise ConfigurationError("bad probe parameters")
+        self.sim = sim
+        self.device = device
+        self.probe_interval = probe_interval
+        self.max_probes = max_probes
+        self.known: Dict[str, RegistryLocator] = {}
+        self.freshness: Dict[str, float] = {}
+        self.discovery_times: Dict[str, float] = {}
+        self._listeners: List[Callable[[RegistryLocator], None]] = []
+        self._probe_task = None
+        self._probes_sent = 0
+        self._started_at: Optional[float] = None
+        device.multicast.join(ANNOUNCE_GROUP, self._on_announcement)
+        device.stack.bind(_UNICAST_LOCATOR_PORT, self._on_unicast_locator)
+
+    # ------------------------------------------------------------------
+    def on_found(self, callback: Callable[[RegistryLocator], None]) -> None:
+        self._listeners.append(callback)
+        for locator in self.known.values():
+            callback(locator)
+
+    def discover(self) -> None:
+        """Actively probe for registrars (bounded retries)."""
+        if self._probe_task is not None:
+            return
+        self._started_at = self.sim.now
+        self._probes_sent = 0
+        self._probe_task = self.sim.every(self.probe_interval, self._probe,
+                                          start=0.0)
+
+    def _probe(self) -> None:
+        if self._probes_sent >= self.max_probes or self.known:
+            self.stop_probing()
+            return
+        self._probes_sent += 1
+        self.device.multicast.send(REQUEST_GROUP,
+                                   DiscoveryRequest(self.device.name),
+                                   REQUEST_BYTES)
+
+    def stop_probing(self) -> None:
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            self._probe_task = None
+
+    # ------------------------------------------------------------------
+    def _on_announcement(self, src: str, data) -> None:
+        if isinstance(data, RegistryLocator):
+            self._learn(data)
+
+    def _on_unicast_locator(self, frame) -> None:
+        if isinstance(frame.payload, RegistryLocator):
+            self._learn(frame.payload)
+
+    def _learn(self, locator: RegistryLocator) -> None:
+        fresh = locator.registry_id not in self.known
+        self.known[locator.registry_id] = locator
+        self.freshness[locator.registry_id] = self.sim.now
+        if fresh:
+            started = self._started_at if self._started_at is not None else 0.0
+            self.discovery_times[locator.registry_id] = self.sim.now - started
+            self.sim.trace("discovery.found", self.device.name,
+                           f"found registry {locator.registry_id} at "
+                           f"{locator.address}")
+            for callback in list(self._listeners):
+                callback(locator)
+
+    def stale(self, max_age: float) -> List[str]:
+        """Registries not heard from within ``max_age`` seconds."""
+        now = self.sim.now
+        return [rid for rid, t in self.freshness.items() if now - t > max_age]
+
+    def forget(self, registry_id: str) -> None:
+        self.known.pop(registry_id, None)
+        self.freshness.pop(registry_id, None)

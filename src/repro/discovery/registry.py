@@ -1,0 +1,280 @@
+"""The lookup service: the Jini registrar of the Aroma scenario.
+
+"The ability to automatically discover the projector service is
+implemented using Jini and relies on having a Jini lookup service
+present."  :class:`LookupService` is that component: it holds leased
+service registrations, answers template lookups, and pushes
+:class:`~repro.discovery.events.RemoteEvent` notifications to leased
+subscribers.  It speaks a small request/reply protocol over the reliable
+transport; co-located callers may use the local methods directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..kernel.errors import LeaseError
+from ..kernel.scheduler import Simulator
+from .events import ADDED, EXPIRED, REMOVED, RemoteEvent, next_event_sequence
+from .leases import Lease, LeaseTable
+from .records import ServiceItem, ServiceTemplate
+
+#: Well-known stack port of the lookup service protocol.
+REGISTRY_PORT: int = 10
+#: Well-known port clients receive remote events on.
+EVENT_PORT: int = 11
+
+_request_seq = itertools.count(1)
+_notify_seq = itertools.count(1)
+
+
+# ---------------------------------------------------------------------------
+# Wire messages
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RegisterRequest:
+    request_id: int
+    item: ServiceItem
+    lease_duration: float
+
+
+@dataclass(frozen=True)
+class RenewRequest:
+    request_id: int
+    lease_id: int
+
+
+@dataclass(frozen=True)
+class CancelRequest:
+    request_id: int
+    lease_id: int
+
+
+@dataclass(frozen=True)
+class LookupRequest:
+    request_id: int
+    template: ServiceTemplate
+    max_matches: int = 16
+
+
+@dataclass(frozen=True)
+class NotifyRequest:
+    """Subscribe to ADDED/REMOVED/EXPIRED transitions matching a template."""
+
+    request_id: int
+    template: ServiceTemplate
+    listener: str
+    lease_duration: float
+
+
+@dataclass(frozen=True)
+class Reply:
+    request_id: int
+    ok: bool
+    #: lease id for register/renew/notify; items for lookup; error text.
+    lease_id: Optional[int] = None
+    lease_duration: Optional[float] = None
+    items: Tuple[ServiceItem, ...] = ()
+    error: str = ""
+
+    @property
+    def wire_bytes(self) -> int:
+        return 48 + sum(i.wire_bytes for i in self.items)
+
+
+def new_request_id() -> int:
+    return next(_request_seq)
+
+
+# ---------------------------------------------------------------------------
+# The service
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Subscription:
+    registration_id: int
+    template: ServiceTemplate
+    listener: str
+    lease: Lease
+
+
+class LookupService:
+    """A lookup registrar hosted on one networked device.
+
+    Args:
+        sim: simulator.
+        device: any object exposing ``name``, ``stack`` and ``reliable()``
+            (every :class:`repro.phys.devices.Device` qualifies).
+        registry_id: name announced to the network.
+        max_lease: clamp for requested lease durations.
+    """
+
+    def __init__(self, sim: Simulator, device, registry_id: str = "registry",
+                 max_lease: float = 300.0, sweep_interval: float = 1.0) -> None:
+        self.sim = sim
+        self.device = device
+        self.registry_id = registry_id
+        self.address = device.stack.address
+        self._items: Dict[str, ServiceItem] = {}
+        self._lease_to_service: Dict[int, str] = {}
+        self._service_to_lease: Dict[str, int] = {}
+        self.leases = LeaseTable(sim, f"{registry_id}.registrations",
+                                 max_duration=max_lease,
+                                 on_expired=self._registration_expired,
+                                 sweep_interval=sweep_interval)
+        self.subscription_leases = LeaseTable(
+            sim, f"{registry_id}.subscriptions", max_duration=max_lease,
+            on_expired=self._subscription_expired,
+            sweep_interval=sweep_interval)
+        self._subscriptions: Dict[int, _Subscription] = {}
+        self._sub_lease_to_id: Dict[int, int] = {}
+        self.endpoint = device.reliable(REGISTRY_PORT, self._on_request)
+        self._event_tx = device.reliable(EVENT_PORT)
+        self.requests_served = 0
+        self.events_sent = 0
+
+    # ------------------------------------------------------------------
+    # Local (co-located) API
+    # ------------------------------------------------------------------
+    def register(self, item: ServiceItem, lease_duration: float) -> Lease:
+        """Register or re-register a service item."""
+        previous = self._service_to_lease.pop(item.service_id, None)
+        if previous is not None:
+            self._lease_to_service.pop(previous, None)
+            try:
+                self.leases.cancel(previous)
+            except LeaseError:
+                pass
+        lease = self.leases.grant(item.proxy.provider, item.service_id,
+                                  lease_duration)
+        is_new = item.service_id not in self._items
+        self._items[item.service_id] = item
+        self._lease_to_service[lease.lease_id] = item.service_id
+        self._service_to_lease[item.service_id] = lease.lease_id
+        if is_new:
+            self._notify(ADDED, item)
+        return lease
+
+    def renew(self, lease_id: int, duration: Optional[float] = None) -> Lease:
+        """Renew a registration *or* subscription lease (ids are global)."""
+        if self.leases.get(lease_id) is not None:
+            return self.leases.renew(lease_id, duration)
+        return self.subscription_leases.renew(lease_id, duration)
+
+    def cancel(self, lease_id: int) -> None:
+        if self.leases.get(lease_id) is None and \
+                self.subscription_leases.get(lease_id) is not None:
+            self.subscription_leases.cancel(lease_id)
+            registration_id = self._sub_lease_to_id.pop(lease_id, None)
+            if registration_id is not None:
+                self._subscriptions.pop(registration_id, None)
+            return
+        lease = self.leases.cancel(lease_id)
+        service_id = self._lease_to_service.pop(lease_id, None)
+        if service_id is not None:
+            self._service_to_lease.pop(service_id, None)
+            item = self._items.pop(service_id, None)
+            if item is not None:
+                self._notify(REMOVED, item)
+
+    def lookup(self, template: ServiceTemplate,
+               max_matches: int = 16) -> List[ServiceItem]:
+        """All registered items matching ``template`` (bounded)."""
+        out = []
+        for item in self._items.values():
+            if template.matches(item):
+                out.append(item)
+                if len(out) >= max_matches:
+                    break
+        return out
+
+    def notify(self, template: ServiceTemplate, listener: str,
+               lease_duration: float) -> Tuple[int, Lease]:
+        """Subscribe ``listener`` to transitions matching ``template``."""
+        registration_id = next(_notify_seq)
+        lease = self.subscription_leases.grant(
+            listener, f"notify-{registration_id}", lease_duration)
+        sub = _Subscription(registration_id, template, listener, lease)
+        self._subscriptions[registration_id] = sub
+        self._sub_lease_to_id[lease.lease_id] = registration_id
+        return registration_id, lease
+
+    def items(self) -> List[ServiceItem]:
+        return list(self._items.values())
+
+    # ------------------------------------------------------------------
+    # Expiry and notification plumbing
+    # ------------------------------------------------------------------
+    def _registration_expired(self, lease: Lease) -> None:
+        service_id = self._lease_to_service.pop(lease.lease_id, None)
+        if service_id is None:
+            return
+        self._service_to_lease.pop(service_id, None)
+        item = self._items.pop(service_id, None)
+        if item is not None:
+            self.sim.issue("discovery", self.registry_id,
+                           f"registration of {service_id} expired "
+                           "(provider stopped renewing)",
+                           service_id=service_id)
+            self._notify(EXPIRED, item)
+
+    def _subscription_expired(self, lease: Lease) -> None:
+        registration_id = self._sub_lease_to_id.pop(lease.lease_id, None)
+        if registration_id is not None:
+            self._subscriptions.pop(registration_id, None)
+
+    def _notify(self, kind: str, item: ServiceItem) -> None:
+        for sub in list(self._subscriptions.values()):
+            if sub.template.matches(item):
+                event = RemoteEvent(next_event_sequence(), kind, item,
+                                    sub.registration_id)
+                self.events_sent += 1
+                self._event_tx.send(sub.listener, event, event.wire_bytes)
+
+    # ------------------------------------------------------------------
+    # Network protocol
+    # ------------------------------------------------------------------
+    def _on_request(self, src: str, request: Any, _segments: int) -> None:
+        self.requests_served += 1
+        reply = self._dispatch(src, request)
+        if reply is not None:
+            self.endpoint.send(src, reply, reply.wire_bytes)
+
+    def _dispatch(self, src: str, request: Any) -> Optional[Reply]:
+        if isinstance(request, RegisterRequest):
+            lease = self.register(request.item, request.lease_duration)
+            return Reply(request.request_id, True, lease_id=lease.lease_id,
+                         lease_duration=lease.duration)
+        if isinstance(request, RenewRequest):
+            try:
+                lease = self.renew(request.lease_id)
+            except LeaseError as exc:
+                return Reply(request.request_id, False, error=str(exc))
+            return Reply(request.request_id, True, lease_id=lease.lease_id,
+                         lease_duration=lease.duration)
+        if isinstance(request, CancelRequest):
+            try:
+                self.cancel(request.lease_id)
+            except LeaseError as exc:
+                return Reply(request.request_id, False, error=str(exc))
+            return Reply(request.request_id, True)
+        if isinstance(request, LookupRequest):
+            matches = self.lookup(request.template, request.max_matches)
+            return Reply(request.request_id, True, items=tuple(matches))
+        if isinstance(request, NotifyRequest):
+            registration_id, lease = self.notify(
+                request.template, request.listener, request.lease_duration)
+            return Reply(request.request_id, True, lease_id=lease.lease_id,
+                         lease_duration=lease.duration)
+        self.sim.trace("registry.badreq", self.registry_id,
+                       f"unknown request {request!r} from {src}")
+        return None
+
+    def stop(self) -> None:
+        self.leases.stop()
+        self.subscription_leases.stop()
+        self.endpoint.close()
+        self._event_tx.close()

@@ -1,0 +1,115 @@
+"""Ambient acoustic environment.
+
+The paper's environment analysis extends beyond RF: "Background noise, that
+is currently acceptable, may become objectionable if voice recognition is
+used" and voice devices "may be socially inappropriate in a cramped office
+environment".  This module models an acoustic field — point sources with
+distance attenuation on top of a diffuse floor — and a social-acceptability
+predicate, feeding experiment E8 (word error rate vs ambient noise) and the
+voice-badge example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..kernel.errors import ConfigurationError
+from .world import World
+
+#: Typical ambient sound levels (dB SPL) used by examples and experiments.
+TYPICAL_LEVELS_DB: Dict[str, float] = {
+    "quiet_office": 40.0,
+    "open_office": 55.0,
+    "conversation": 60.0,
+    "subway": 80.0,
+    "machine_room": 85.0,
+}
+
+
+@dataclass
+class NoiseSource:
+    """A point acoustic source.
+
+    ``level_db_at_1m`` is the sound pressure level 1 m from the source;
+    propagation follows the inverse-square law (−6 dB per doubling).
+    """
+
+    name: str
+    level_db_at_1m: float
+    #: social source? (conversation) — relevant to the paper's point that
+    #: suppressing it restricts social interaction rather than engineering.
+    social: bool = False
+
+    def level_at(self, distance_m: float) -> float:
+        d = max(float(distance_m), 0.5)
+        return self.level_db_at_1m - 20.0 * np.log10(d)
+
+
+def combine_levels_db(levels_db: Sequence[float]) -> float:
+    """Energetic (incoherent) sum of sound pressure levels in dB."""
+    levels = np.asarray(list(levels_db), dtype=np.float64)
+    if levels.size == 0:
+        return 0.0
+    return float(10.0 * np.log10(np.sum(10.0 ** (levels / 10.0))))
+
+
+class AcousticField:
+    """The acoustic environment layer of a deployment.
+
+    Args:
+        world: geometry shared with the radio and the devices.
+        floor_db: diffuse background level present everywhere (HVAC, etc.).
+    """
+
+    def __init__(self, world: World, floor_db: float = 35.0) -> None:
+        if floor_db < 0:
+            raise ConfigurationError("floor_db must be non-negative")
+        self.world = world
+        self.floor_db = float(floor_db)
+        self._sources: Dict[str, NoiseSource] = {}
+
+    def add_source(self, source: NoiseSource, position: Sequence[float]) -> None:
+        """Place a noise source in the world (placement name ``noise:<name>``)."""
+        if source.name in self._sources:
+            raise ConfigurationError(f"noise source {source.name!r} already present")
+        self._sources[source.name] = source
+        self.world.place(f"noise:{source.name}", position)
+
+    def remove_source(self, name: str) -> None:
+        # The world keeps the placement (the World API is append-only by
+        # design); a removed source simply stops radiating.
+        if name not in self._sources:
+            raise ConfigurationError(f"unknown noise source {name!r}")
+        del self._sources[name]
+
+    def sources(self) -> List[NoiseSource]:
+        return list(self._sources.values())
+
+    def level_at(self, entity_name: str) -> float:
+        """Total ambient level (dB SPL) at a placed entity's position."""
+        levels = [self.floor_db]
+        for src in self._sources.values():
+            dist = float(self.world.distances_from(
+                entity_name, [f"noise:{src.name}"])[0])
+            levels.append(src.level_at(dist))
+        return combine_levels_db(levels)
+
+    def speech_snr_db(self, speaker_level_db: float, entity_name: str) -> float:
+        """SNR of speech captured at ``entity_name`` against the ambient field."""
+        return speaker_level_db - self.level_at(entity_name)
+
+    def socially_appropriate(self, entity_name: str,
+                             speech_level_db: float = 65.0,
+                             annoyance_threshold_db: float = 10.0) -> bool:
+        """Is *adding* speech at this spot socially acceptable?
+
+        The paper notes voice control "may be socially inappropriate in a
+        cramped office" — we operationalise that as: speech is inappropriate
+        when it would exceed the existing ambient level by more than
+        ``annoyance_threshold_db`` (it dominates the soundscape).
+        """
+        ambient = self.level_at(entity_name)
+        return (speech_level_db - ambient) <= annoyance_threshold_db

@@ -1,0 +1,218 @@
+"""Radio propagation in the 2.4 GHz band.
+
+This is the quantitative core of the paper's *environment layer*: ranging,
+radio interference and scaling constraints all come out of this module.
+The model is deliberately classic so its shape is auditable:
+
+* **Log-distance path loss** with reference loss at 1 m appropriate for
+  2.4 GHz (≈40 dB by Friis) and a configurable exponent (2.0 free space,
+  ~3.0 indoor office).
+* **Log-normal shadowing**, frozen per transmitter/receiver pair so a given
+  deployment has a stable radio map but different deployments differ.
+* **SINR** against the thermal noise floor plus the overlap-weighted sum of
+  co-channel and adjacent-channel interferers (vectorised NumPy — this is
+  the hot path in E2's 64-interferer sweeps).
+* **802.11b-style rates** (1, 2, 5.5, 11 Mb/s) with DSSS/CCK processing
+  gain, and a frame-error-rate model built from textbook BER curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import special
+
+from ..kernel.errors import ConfigurationError
+
+# ---------------------------------------------------------------------------
+# Unit helpers
+# ---------------------------------------------------------------------------
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert dBm to milliwatts."""
+    return 10.0 ** (np.asarray(dbm) / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert milliwatts to dBm (clipping at a -200 dBm floor)."""
+    mw = np.maximum(np.asarray(mw, dtype=np.float64), 1e-20)
+    return 10.0 * np.log10(mw)
+
+
+#: Thermal noise floor for a 22 MHz 802.11b channel: -174 dBm/Hz + 10log10(22e6)
+#: + ~6 dB receiver noise figure.
+NOISE_FLOOR_DBM: float = -174.0 + 10.0 * np.log10(22e6) + 6.0  # ≈ -94.6 dBm
+
+
+@dataclass(frozen=True)
+class RateMode:
+    """One PHY rate of the 1999-era 802.11b radio the Aroma Adapter used."""
+
+    bits_per_second: float
+    #: DSSS/CCK processing gain (chip rate 11 Mc/s over symbol rate), linear.
+    processing_gain: float
+    #: modulation family, selects the BER curve ("dpsk" or "cck").
+    modulation: str
+    name: str
+
+    def ber(self, sinr_linear: np.ndarray) -> np.ndarray:
+        """Bit error rate at the given *linear* SINR (vectorised)."""
+        ebn0 = np.maximum(sinr_linear * self.processing_gain, 0.0)
+        if self.modulation == "dpsk":
+            # Non-coherent differential PSK: Pb = 0.5 * exp(-Eb/N0).
+            return 0.5 * np.exp(-ebn0)
+        # CCK approximated as coherent QPSK: Pb = Q(sqrt(2 Eb/N0)).
+        return 0.5 * special.erfc(np.sqrt(np.maximum(ebn0, 0.0)))
+
+    def fer(self, sinr_db: float, frame_bytes: int) -> float:
+        """Frame error rate for a frame of ``frame_bytes`` at ``sinr_db``."""
+        sinr_linear = dbm_to_mw(sinr_db)  # same conversion: dB -> linear
+        ber = float(self.ber(np.asarray(sinr_linear)))
+        bits = 8 * int(frame_bytes)
+        if ber <= 0.0:
+            return 0.0
+        # log1p formulation keeps precision for tiny BERs.
+        return float(1.0 - np.exp(bits * np.log1p(-min(ber, 0.5))))
+
+
+#: The 802.11b rate set, ordered slowest to fastest.
+RATES: Tuple[RateMode, ...] = (
+    RateMode(1e6, 11.0, "dpsk", "1Mbps"),
+    RateMode(2e6, 5.5, "dpsk", "2Mbps"),
+    RateMode(5.5e6, 2.0, "cck", "5.5Mbps"),
+    RateMode(11e6, 1.0, "cck", "11Mbps"),
+)
+
+RATE_BY_NAME: Dict[str, RateMode] = {r.name: r for r in RATES}
+
+
+def best_rate(sinr_db: float, frame_bytes: int = 1500,
+              fer_target: float = 0.1) -> RateMode:
+    """Highest rate whose FER for a ``frame_bytes`` frame meets ``fer_target``.
+
+    Falls back to the base 1 Mb/s mode when nothing meets the target — the
+    sender still has to try, and the MAC's retry logic absorbs the loss.
+    """
+    for mode in reversed(RATES):
+        if mode.fer(sinr_db, frame_bytes) <= fer_target:
+            return mode
+    return RATES[0]
+
+
+# ---------------------------------------------------------------------------
+# Propagation
+# ---------------------------------------------------------------------------
+
+class PropagationModel:
+    """Log-distance path loss with frozen log-normal shadowing.
+
+    Args:
+        exponent: path-loss exponent (2.0 free space, ~3.0 indoor office).
+        reference_loss_db: loss at 1 m; 40 dB is the 2.4 GHz Friis value.
+        shadowing_sigma_db: std-dev of per-pair log-normal shadowing.
+        rng: generator used to freeze shadowing values (pair-keyed).
+    """
+
+    def __init__(self, exponent: float = 3.0, reference_loss_db: float = 40.0,
+                 shadowing_sigma_db: float = 4.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if exponent < 1.0 or exponent > 6.0:
+            raise ConfigurationError(f"implausible path-loss exponent {exponent}")
+        if shadowing_sigma_db < 0:
+            raise ConfigurationError("shadowing sigma must be non-negative")
+        self.exponent = float(exponent)
+        self.reference_loss_db = float(reference_loss_db)
+        self.shadowing_sigma_db = float(shadowing_sigma_db)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._shadowing: Dict[Tuple[str, str], float] = {}
+
+    def path_loss_db(self, distance_m: np.ndarray) -> np.ndarray:
+        """Deterministic path loss in dB at ``distance_m`` (vectorised)."""
+        d = np.maximum(np.asarray(distance_m, dtype=np.float64), 0.1)
+        return self.reference_loss_db + 10.0 * self.exponent * np.log10(d)
+
+    def shadowing_db(self, tx: str, rx: str) -> float:
+        """Frozen shadowing term for the (unordered) pair ``{tx, rx}``."""
+        if self.shadowing_sigma_db == 0.0:
+            return 0.0
+        key = (tx, rx) if tx <= rx else (rx, tx)
+        value = self._shadowing.get(key)
+        if value is None:
+            value = float(self._rng.normal(0.0, self.shadowing_sigma_db))
+            self._shadowing[key] = value
+        return value
+
+    def received_power_dbm(self, tx_power_dbm: float, distance_m: float,
+                           tx: str = "", rx: str = "") -> float:
+        """Received power for one link, including frozen shadowing.
+
+        Scalar fast path (no array round-trip): this is the single hottest
+        function in dense-medium sweeps.
+        """
+        d = distance_m if distance_m > 0.1 else 0.1
+        loss = self.reference_loss_db + 10.0 * self.exponent * math.log10(d)
+        shadow = self.shadowing_db(tx, rx) if tx and rx else 0.0
+        return tx_power_dbm - loss - shadow
+
+    def received_power_vector(self, tx_power_dbm: np.ndarray,
+                              distances_m: np.ndarray,
+                              shadowing_db: Optional[np.ndarray] = None) -> np.ndarray:
+        """Vectorised received power for many links at once (dBm)."""
+        powers = np.asarray(tx_power_dbm, dtype=np.float64)
+        loss = self.path_loss_db(distances_m)
+        rx = powers - loss
+        if shadowing_db is not None:
+            rx = rx - np.asarray(shadowing_db, dtype=np.float64)
+        return rx
+
+    def range_for_rate(self, mode: RateMode, tx_power_dbm: float = 15.0,
+                       frame_bytes: int = 1500, fer_target: float = 0.1,
+                       max_range_m: float = 1000.0) -> float:
+        """Largest interference-free distance sustaining ``mode``.
+
+        Solved by bisection on the monotone FER-vs-distance curve; used by
+        E3 to report the ranging table.
+        """
+        def ok(distance: float) -> bool:
+            sinr = self.received_power_dbm(tx_power_dbm, distance) - NOISE_FLOOR_DBM
+            return mode.fer(sinr, frame_bytes) <= fer_target
+
+        if not ok(0.1):
+            return 0.0
+        lo, hi = 0.1, max_range_m
+        if ok(hi):
+            return hi
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if ok(mid):
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+
+def sinr_db(signal_dbm: float, interferer_dbm: Sequence[float],
+            overlap: Optional[Sequence[float]] = None,
+            noise_floor_dbm: float = NOISE_FLOOR_DBM) -> float:
+    """Signal-to-interference-plus-noise ratio in dB.
+
+    Args:
+        signal_dbm: received power of the wanted transmission.
+        interferer_dbm: received powers of concurrent transmissions.
+        overlap: spectral overlap factor for each interferer (default 1.0,
+            i.e. co-channel).
+        noise_floor_dbm: thermal noise power.
+    """
+    interference_mw = 0.0
+    interferers = np.asarray(list(interferer_dbm), dtype=np.float64)
+    if interferers.size:
+        factors = (np.ones_like(interferers) if overlap is None
+                   else np.asarray(list(overlap), dtype=np.float64))
+        if factors.shape != interferers.shape:
+            raise ConfigurationError("overlap length must match interferers")
+        interference_mw = float(np.sum(dbm_to_mw(interferers) * factors))
+    denominator = dbm_to_mw(noise_floor_dbm) + interference_mw
+    return float(mw_to_dbm(dbm_to_mw(signal_dbm) / denominator))

@@ -1,0 +1,61 @@
+"""E7 — intentional-layer harmony and adoption.
+
+The paper's honest answer about its own prototype: "in its present form,
+our Smart Projector will not necessarily be in harmony with the needs of
+a casual user expecting a commercial-grade product, but it does satisfy
+the needs of its intended users."  We score both design purposes against
+both goals across populations and convert harmony into predicted
+adoption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernel.scheduler import Simulator
+from ..user.goals import (
+    adoption_probability,
+    commercial_product_purpose,
+    harmony,
+    presentation_goal,
+    research_goal,
+    research_prototype_purpose,
+)
+from ..user.population import casual_population, lab_population
+from .harness import ExperimentResult, experiment
+
+
+@experiment("E7")
+def run(population_size: int = 100, seed: int = 12) -> ExperimentResult:
+    """Harmony scores and adoption for each (purpose, population) pair."""
+    sim = Simulator(seed=seed, trace=False)
+    rng = sim.rng("e7")
+    populations = {
+        "researchers": (lab_population(rng, population_size), research_goal()),
+        "casual-presenters": (casual_population(rng, population_size),
+                              presentation_goal()),
+    }
+    purposes = {
+        "research-prototype": research_prototype_purpose(),
+        "commercial-product": commercial_product_purpose(),
+    }
+    result = ExperimentResult(
+        "E7", "intentional-layer harmony and predicted adoption",
+        ["purpose", "population", "harmony_score", "in_harmony_fraction",
+         "mean_adoption"])
+    for purpose_name, purpose in purposes.items():
+        for population_name, (users, goal) in populations.items():
+            reports = [harmony(purpose, goal, user) for user in users]
+            adoptions = [adoption_probability(r, u)
+                         for r, u in zip(reports, users)]
+            result.add_row(
+                purpose=purpose_name, population=population_name,
+                harmony_score=float(np.mean([r.score for r in reports])),
+                in_harmony_fraction=float(np.mean(
+                    [r.in_harmony for r in reports])),
+                mean_adoption=float(np.mean(adoptions)))
+    result.notes.append(
+        "research prototype: harmonious with researchers, not with casual "
+        "presenters; the commercial redesign flips the casual column "
+        "(and drops the researcher-only observability capability)")
+    return result

@@ -1,0 +1,83 @@
+"""One-shot reproduction report: run every target, emit one document.
+
+``build_report()`` runs all registered experiments (scaled by a *budget*
+knob so smoke runs finish in a couple of minutes) and renders a single
+markdown-ish document — the regenerated evaluation section of the paper.
+Exposed on the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..kernel.errors import ExperimentError
+from .harness import ExperimentResult, list_experiments, run_experiment
+
+#: Per-experiment keyword overrides for the quick budget.
+_QUICK_OVERRIDES: Dict[str, dict] = {
+    "E1": {"duration": 20.0},
+    "E1-ablation": {"duration": 15.0},
+    "E1-replicated": {"seeds": (1, 2), "duration": 15.0},
+    "E2": {"densities": (0, 4, 16), "duration": 8.0},
+    "E2-scale": {"service_counts": (4, 32)},
+    "E2-autochannel": {"pairs": 20, "duration": 16.0},
+    "E3": {"distances": (10.0, 80.0, 120.0, 160.0), "duration": 4.0},
+    "E3-mobility": {"duration": 60.0},
+    "E4-discovery": {"repeats": 2},
+    "E4-stale": {"lease_durations": (10.0, 30.0), "admin_after_s": 120.0,
+                 "horizon": 200.0},
+    "E4-proxy": {"code_sizes": (1024, 32768)},
+    "E4-orders": {"repeats": 8},
+    "E8-auth": {"genuine_trials": 100, "impostor_trials": 100},
+    "E5": {"burdens": (2, 6, 10), "users_per_cell": 20},
+    "E5-training": {"sessions": 4, "users_per_cell": 20},
+    "E5-prototype": {"users_per_cell": 30},
+    "E6": {"population_size": 40},
+    "E6-recovery": {"horizon": 100.0},
+    "E6-accessibility": {"population_size": 40},
+    "E7": {"population_size": 40},
+    "E8": {"speakers": 6, "words_per_speaker": 20},
+    "E9": {"horizon": 240.0},
+    "E9-report": {"horizon": 240.0},
+    "E10-energy": {"measure_s": 60.0},
+}
+
+
+def run_all(budget: str = "quick",
+            only: Optional[Sequence[str]] = None) -> List[ExperimentResult]:
+    """Run every (or the selected) experiment; returns results in id order.
+
+    Args:
+        budget: ``"quick"`` applies the scaled-down overrides; ``"full"``
+            runs library defaults.
+        only: optional subset of experiment ids.
+    """
+    if budget not in ("quick", "full"):
+        raise ExperimentError(f"unknown budget {budget!r}")
+    ids = list(only) if only else list_experiments()
+    results = []
+    for experiment_id in ids:
+        kwargs = _QUICK_OVERRIDES.get(experiment_id, {}) \
+            if budget == "quick" else {}
+        results.append(run_experiment(experiment_id, **kwargs))
+    return results
+
+
+def build_report(budget: str = "quick",
+                 only: Optional[Sequence[str]] = None) -> str:
+    """Run everything and render the combined reproduction report."""
+    started = time.perf_counter()
+    results = run_all(budget, only)
+    elapsed = time.perf_counter() - started
+    lines = [
+        "# Reproduction report — A Conceptual Model for Pervasive Computing",
+        "",
+        f"budget: {budget}; experiments: {len(results)}; "
+        f"wall time: {elapsed:.1f}s",
+        "",
+    ]
+    for result in results:
+        lines.append(result.format_table())
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Parameter sweeps with common random numbers.
+
+Comparing simulated systems fairly means varying only what you mean to
+vary; the kernel's named RNG streams give that per-component, and this
+module gives it per-*configuration*: :func:`sweep` runs a factory across a
+parameter grid with the same seed set, collecting rows into one
+:class:`~repro.experiments.harness.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+from ..kernel.errors import ExperimentError
+from .harness import ExperimentResult
+
+
+def grid(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Cartesian product of named axes as a list of kwargs dicts.
+
+    >>> grid(a=[1, 2], b=["x"])
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    if not axes:
+        raise ExperimentError("grid needs at least one axis")
+    names = list(axes)
+    out = []
+    for values in itertools.product(*(axes[name] for name in names)):
+        out.append(dict(zip(names, values)))
+    return out
+
+
+def sweep(experiment_id: str, title: str,
+          run_one: Callable[..., Mapping[str, Any]],
+          points: Iterable[Mapping[str, Any]],
+          seeds: Sequence[int] = (0,),
+          columns: Sequence[str] = ()) -> ExperimentResult:
+    """Run ``run_one(seed=..., **point)`` over every (point, seed) pair.
+
+    ``run_one`` returns a row dict; the parameter point and seed are merged
+    in (point values win on key clashes so callers can rename).  Columns
+    default to the union of keys in first-row order.
+    """
+    rows: List[Dict[str, Any]] = []
+    for point in points:
+        for seed in seeds:
+            measured = dict(run_one(seed=seed, **point))
+            row = {"seed": seed, **point, **measured}
+            rows.append(row)
+    if not rows:
+        raise ExperimentError("sweep produced no rows")
+    if not columns:
+        columns = list(rows[0].keys())
+    result = ExperimentResult(experiment_id, title, list(columns))
+    for row in rows:
+        result.add_row(**{k: row.get(k) for k in columns})
+    return result
+
+
+def averaged_over_seeds(result: ExperimentResult,
+                        group_by: Sequence[str],
+                        metrics: Sequence[str]) -> ExperimentResult:
+    """Collapse a multi-seed sweep: mean of ``metrics`` per parameter
+    point."""
+    groups: Dict[tuple, List[Dict[str, Any]]] = {}
+    for row in result.rows:
+        key = tuple(row.get(name) for name in group_by)
+        groups.setdefault(key, []).append(row)
+    out = ExperimentResult(result.experiment_id + "-avg",
+                           result.title + " (seed-averaged)",
+                           list(group_by) + [f"mean_{m}" for m in metrics]
+                           + ["replicates"])
+    for key, rows in groups.items():
+        aggregates: Dict[str, Any] = dict(zip(group_by, key))
+        for metric in metrics:
+            values = [row[metric] for row in rows if row.get(metric) is not None]
+            aggregates[f"mean_{metric}"] = (sum(values) / len(values)
+                                            if values else float("nan"))
+        aggregates["replicates"] = len(rows)
+        out.add_row(**aggregates)
+    return out

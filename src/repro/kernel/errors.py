@@ -1,0 +1,82 @@
+"""Exception hierarchy for the simulation kernel and the layers built on it.
+
+Every package in :mod:`repro` raises exceptions derived from
+:class:`ReproError` so that callers can catch reproduction-library failures
+without masking genuine programming errors (``TypeError`` etc. propagate
+unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event kernel."""
+
+
+class ScheduleError(SimulationError):
+    """An event was scheduled incorrectly (negative delay, in the past...)."""
+
+
+class SimulationFinished(SimulationError):
+    """Raised when interacting with a simulator that has been stopped."""
+
+
+class ProcessError(SimulationError):
+    """A simulation process misbehaved (bad yield value, dead process...)."""
+
+
+class ConfigurationError(ReproError):
+    """A model was constructed with inconsistent or invalid parameters."""
+
+
+class NetworkError(ReproError):
+    """Base class for errors in the network substrate."""
+
+
+class AddressError(NetworkError):
+    """An unknown or malformed address was used."""
+
+
+class TransportError(NetworkError):
+    """A reliable-transport operation failed (closed channel, overflow...)."""
+
+
+class DiscoveryError(ReproError):
+    """Base class for service-discovery failures."""
+
+
+class LeaseError(DiscoveryError):
+    """A lease operation failed (expired, unknown, denied...)."""
+
+
+class LookupError_(DiscoveryError):
+    """A lookup failed; named with a trailing underscore to avoid shadowing
+    the builtin ``LookupError``."""
+
+
+class ServiceError(ReproError):
+    """Base class for abstract-layer service failures."""
+
+
+class SessionError(ServiceError):
+    """A session operation was rejected (busy, bad token, expired...)."""
+
+
+class ModelError(ReproError):
+    """The LPC conceptual model was used inconsistently."""
+
+
+class ConstraintViolation(ModelError):
+    """A cross-column LPC constraint check failed hard.
+
+    Most constraint checks *report* violations rather than raise; this
+    exception is reserved for callers that ask for strict enforcement.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failure (unknown experiment, bad sweep...)."""

@@ -1,0 +1,246 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` is the heart of the reproduction: every substrate the
+paper depends on (radio environment, 802.11-style MAC, transport, Jini-style
+discovery, VNC-like framebuffer, simulated users) runs as callbacks on a
+single deterministic event loop.
+
+Design notes (following the HPC guides' "make it work, measure, then
+optimise the bottleneck" workflow):
+
+* The hot path is ``heapq`` push/pop of small ``Event`` objects with
+  ``__slots__`` — profiling showed object allocation dominates, so events
+  carry pre-bound args instead of closures where the callers are hot
+  (the MAC and radio layers).
+* Determinism: ties are broken by ``(priority, seq)``; all randomness flows
+  through :class:`repro.kernel.random.RandomStreams`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional
+
+from .errors import ScheduleError, SimulationFinished
+from .events import Event, Priority
+from .random import RandomStreams
+from .trace import TraceRecord, Tracer
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Args:
+        seed: root seed for all named random streams.
+        trace: whether to record trace events (cheap to leave on; heavy
+            interference sweeps turn it off).
+        trace_capacity: optional bound on stored trace records.
+
+    Example:
+        >>> sim = Simulator(seed=1)
+        >>> fired = []
+        >>> _ = sim.schedule(5.0, fired.append, "hello")
+        >>> sim.run()
+        1
+        >>> (sim.now, fired)
+        (5.0, ['hello'])
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: bool = True,
+        trace_capacity: Optional[int] = None,
+    ) -> None:
+        self._now: float = 0.0
+        self._queue: List[Event] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+        self.streams = RandomStreams(seed)
+        self.tracer = Tracer(enabled=trace, capacity=trace_capacity)
+        self.events_executed: int = 0
+        #: arbitrary shared registry for components to find each other
+        #: (e.g. the radio medium, the lookup service); keyed by name.
+        self.context: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Clock and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = Priority.PROTOCOL,
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ScheduleError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, fn, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = Priority.PROTOCOL,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        if self._stopped:
+            raise SimulationFinished("simulator has been stopped")
+        if time < self._now:
+            raise ScheduleError(
+                f"cannot schedule at {time!r}, now is {self._now!r}"
+            )
+        event = Event(time, priority, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any,
+                  priority: int = Priority.PROTOCOL) -> Event:
+        """Schedule ``fn`` at the current time (after pending same-time events)."""
+        return self.schedule_at(self._now, fn, *args, priority=priority)
+
+    def every(
+        self,
+        interval: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        start: Optional[float] = None,
+        priority: int = Priority.PROTOCOL,
+    ) -> "PeriodicTask":
+        """Run ``fn(*args)`` every ``interval`` seconds until cancelled."""
+        if interval <= 0:
+            raise ScheduleError(f"non-positive interval {interval!r}")
+        task = PeriodicTask(self, interval, fn, args, priority)
+        first = self._now + (interval if start is None else start)
+        task._arm(first)
+        return task
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Execute events until the queue drains, ``until`` is reached, or
+        ``max_events`` have run.  Returns the number of events executed by
+        this call.
+
+        When stopped by ``until``, the clock is advanced *to* ``until`` so a
+        subsequent ``run`` resumes cleanly and time-based metrics integrate
+        over the full horizon.
+        """
+        if self._stopped:
+            raise SimulationFinished("simulator has been stopped")
+        executed = 0
+        queue = self._queue
+        self._running = True
+        try:
+            while queue:
+                event = queue[0]
+                if event.cancelled:
+                    heapq.heappop(queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(queue)
+                self._now = event.time
+                fn, args = event.fn, event.args
+                event.fn, event.args = None, ()  # break ref cycles
+                fn(*args)  # type: ignore[misc]
+                executed += 1
+                if self._stopped:
+                    break
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+        self.events_executed += executed
+        return executed
+
+    def step(self) -> bool:
+        """Run exactly one event.  Returns False when the queue is empty."""
+        return self.run(max_events=1) == 1
+
+    def stop(self) -> None:
+        """Halt the simulation permanently; pending events are discarded."""
+        self._stopped = True
+        self._queue.clear()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next live event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    # ------------------------------------------------------------------
+    # Randomness and tracing
+    # ------------------------------------------------------------------
+    def rng(self, name: str):
+        """The named random stream (see :class:`RandomStreams`)."""
+        return self.streams.stream(name)
+
+    def trace(self, category: str, source: str, message: str, **data: Any) -> None:
+        """Emit a structured trace record at the current time."""
+        if self.tracer.enabled or category.startswith("issue"):
+            self.tracer.emit(TraceRecord(self._now, category, source, message, data))
+
+    def issue(self, topic: str, source: str, message: str, **data: Any) -> None:
+        """Emit an *issue* — a concern the LPC classifier will place in a
+        layer.  Issues are recorded even when ordinary tracing is disabled,
+        because experiment E9 depends on them."""
+        record = TraceRecord(self._now, f"issue.{topic}", source, message, data)
+        enabled = self.tracer.enabled
+        self.tracer.enabled = True
+        try:
+            self.tracer.emit(record)
+        finally:
+            self.tracer.enabled = enabled
+
+
+class PeriodicTask:
+    """Handle for a repeating callback created by :meth:`Simulator.every`."""
+
+    def __init__(self, sim: Simulator, interval: float,
+                 fn: Callable[..., Any], args: tuple, priority: int) -> None:
+        self.sim = sim
+        self.interval = interval
+        self.fn = fn
+        self.args = args
+        self.priority = priority
+        self.fires = 0
+        self.cancelled = False
+        self._event: Optional[Event] = None
+
+    def _arm(self, time: float) -> None:
+        self._event = self.sim.schedule_at(time, self._fire, priority=self.priority)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fires += 1
+        self.fn(*self.args)
+        if not self.cancelled and not self.sim.stopped:
+            self._arm(self.sim.now + self.interval)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None

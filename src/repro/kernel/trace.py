@@ -1,0 +1,106 @@
+"""Structured trace log for simulations.
+
+Components emit :class:`TraceRecord` entries through
+:meth:`repro.kernel.scheduler.Simulator.trace`.  The trace is the raw
+material for two consumers:
+
+* metrics extraction in :mod:`repro.metrics` and the experiment harness;
+* the LPC instrumentation bridge (:mod:`repro.core.instrument`) which
+  classifies emitted *issues* into conceptual-model layers.
+
+Tracing is cheap when disabled (a single predicate test per emit) and
+filterable by category when enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes:
+        time: simulation time of the emission.
+        category: dotted category string, e.g. ``"mac.tx"`` or
+            ``"issue.session"``.  Categories beginning with ``issue.`` feed
+            the LPC issue classifier.
+        source: name of the emitting component.
+        message: human-readable one-liner.
+        data: structured payload (numbers, ids) for programmatic consumers.
+    """
+
+    time: float
+    category: str
+    source: str
+    message: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, prefix: str) -> bool:
+        """True if the record's category equals ``prefix`` or sits under it."""
+        return self.category == prefix or self.category.startswith(prefix + ".")
+
+
+class Tracer:
+    """Collects trace records and dispatches them to live subscribers."""
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: List[TraceRecord] = []
+        self._subscribers: List[tuple] = []  # (prefix, callback)
+        self.dropped = 0
+
+    def emit(self, record: TraceRecord) -> None:
+        """Store ``record`` and notify matching subscribers.
+
+        When a ``capacity`` is set the log behaves as a bounded buffer that
+        drops the *newest* records once full (keeping the head preserves the
+        warm-up behaviour experiments usually care about) while still
+        counting drops so nothing is silently lost.
+        """
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+        else:
+            self.records.append(record)
+        for prefix, callback in self._subscribers:
+            if record.matches(prefix):
+                callback(record)
+
+    def subscribe(self, prefix: str, callback: Callable[[TraceRecord], None]) -> Callable[[], None]:
+        """Call ``callback`` for every future record under ``prefix``.
+
+        Returns an unsubscribe function.
+        """
+        entry = (prefix, callback)
+        self._subscribers.append(entry)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(entry)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def select(self, prefix: str) -> List[TraceRecord]:
+        """All stored records whose category sits under ``prefix``."""
+        return [r for r in self.records if r.matches(prefix)]
+
+    def issues(self) -> List[TraceRecord]:
+        """All records in the ``issue.*`` namespace (LPC classifier input)."""
+        return self.select("issue")
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)

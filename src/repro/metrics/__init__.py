@@ -1,0 +1,26 @@
+"""Measurement: counters, gauges, time series, latency, summary stats."""
+
+from .counters import Counter, CounterSet, Gauge
+from .recorder import LatencyRecorder
+from .series import TimeSeries, periodic_sampler
+from .stats import (
+    Summary,
+    confidence_halfwidth,
+    jains_fairness,
+    ratio,
+    summarize,
+)
+
+__all__ = [
+    "Counter",
+    "CounterSet",
+    "Gauge",
+    "LatencyRecorder",
+    "Summary",
+    "TimeSeries",
+    "confidence_halfwidth",
+    "jains_fairness",
+    "periodic_sampler",
+    "ratio",
+    "summarize",
+]

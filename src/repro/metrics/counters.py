@@ -1,0 +1,78 @@
+"""Counters and gauges for simulation measurement."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..kernel.errors import ConfigurationError
+from ..kernel.scheduler import Simulator
+
+
+class Counter:
+    """A monotone event counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only increase; use a Gauge")
+        self.value += amount
+
+    def rate(self, elapsed: float) -> float:
+        """Events per second over ``elapsed`` (0 when no time passed)."""
+        return self.value / elapsed if elapsed > 0 else 0.0
+
+
+class Gauge:
+    """A sampled level with time-weighted averaging.
+
+    Every ``set`` integrates the previous level over the time it held, so
+    ``time_average`` is exact for piecewise-constant signals (queue depths,
+    session occupancy).
+    """
+
+    def __init__(self, sim: Simulator, name: str, initial: float = 0.0) -> None:
+        self.sim = sim
+        self.name = name
+        self.value = initial
+        self._area = 0.0
+        self._since = sim.now
+        self._started = sim.now
+        self.peak = initial
+
+    def set(self, value: float) -> None:
+        now = self.sim.now
+        self._area += self.value * (now - self._since)
+        self._since = now
+        self.value = value
+        self.peak = max(self.peak, value)
+
+    def adjust(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def time_average(self) -> float:
+        now = self.sim.now
+        elapsed = now - self._started
+        if elapsed <= 0:
+            return self.value
+        area = self._area + self.value * (now - self._since)
+        return area / elapsed
+
+
+class CounterSet:
+    """A named family of counters created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+
+    def __getitem__(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def snapshot(self) -> Dict[str, float]:
+        return {name: c.value for name, c in sorted(self._counters.items())}

@@ -1,0 +1,52 @@
+"""Latency recording with paired start/stop semantics."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from ..kernel.scheduler import Simulator
+from .stats import Summary, summarize
+
+
+class LatencyRecorder:
+    """Records durations between paired ``start(key)`` / ``stop(key)`` calls.
+
+    Unmatched stops are counted (not raised): in a lossy system the start
+    may have been recorded by a component whose message never arrived.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._open: Dict[Hashable, float] = {}
+        self.samples: List[float] = []
+        self.unmatched_stops = 0
+        self.abandoned = 0
+
+    def start(self, key: Hashable) -> None:
+        if key in self._open:
+            # Restarting a key abandons the earlier measurement.
+            self.abandoned += 1
+        self._open[key] = self.sim.now
+
+    def stop(self, key: Hashable) -> Optional[float]:
+        started = self._open.pop(key, None)
+        if started is None:
+            self.unmatched_stops += 1
+            return None
+        duration = self.sim.now - started
+        self.samples.append(duration)
+        return duration
+
+    def cancel(self, key: Hashable) -> None:
+        if self._open.pop(key, None) is not None:
+            self.abandoned += 1
+
+    def pending(self) -> int:
+        return len(self._open)
+
+    def summary(self) -> Summary:
+        return summarize(self.samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)

@@ -1,0 +1,78 @@
+"""Time series capture with NumPy-backed storage.
+
+Samples append into growable float buffers (amortised O(1), no Python
+list-of-tuples overhead in hot loops) and expose vectorised views for
+analysis — the "be easy on the memory, use views" idiom from the HPC
+guides.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..kernel.errors import ConfigurationError
+from ..kernel.scheduler import Simulator
+
+
+class TimeSeries:
+    """Append-only ``(time, value)`` series."""
+
+    def __init__(self, sim: Simulator, name: str, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self._times = np.empty(capacity, dtype=np.float64)
+        self._values = np.empty(capacity, dtype=np.float64)
+        self._n = 0
+
+    def record(self, value: float, time: Optional[float] = None) -> None:
+        if self._n == self._times.shape[0]:
+            self._grow()
+        self._times[self._n] = self.sim.now if time is None else time
+        self._values[self._n] = value
+        self._n += 1
+
+    def _grow(self) -> None:
+        new_capacity = self._times.shape[0] * 2
+        times = np.empty(new_capacity, dtype=np.float64)
+        values = np.empty(new_capacity, dtype=np.float64)
+        times[: self._n] = self._times[: self._n]
+        values[: self._n] = self._values[: self._n]
+        self._times, self._values = times, values
+
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        """View (not copy) of the recorded times."""
+        return self._times[: self._n]
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values[: self._n]
+
+    def __len__(self) -> int:
+        return self._n
+
+    def window(self, start: float, end: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Times/values with ``start <= t < end`` (views via boolean mask)."""
+        mask = (self.times >= start) & (self.times < end)
+        return self.times[mask], self.values[mask]
+
+    def mean(self) -> float:
+        return float(self.values.mean()) if self._n else 0.0
+
+    def rate_per_second(self, window_s: float) -> float:
+        """Count of samples in the trailing window divided by the window."""
+        if window_s <= 0:
+            raise ConfigurationError("window must be positive")
+        cutoff = self.sim.now - window_s
+        return int(np.count_nonzero(self.times >= cutoff)) / window_s
+
+
+def periodic_sampler(sim: Simulator, series: TimeSeries, interval: float,
+                     probe) -> "object":
+    """Sample ``probe()`` into ``series`` every ``interval`` seconds."""
+    return sim.every(interval, lambda: series.record(float(probe())))

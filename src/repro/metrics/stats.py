@@ -1,0 +1,72 @@
+"""Summary statistics helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..kernel.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (f"n={self.n} mean={self.mean:.4g} std={self.std:.4g} "
+                f"min={self.minimum:.4g} p50={self.p50:.4g} "
+                f"p95={self.p95:.4g} max={self.maximum:.4g}")
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Summary of ``samples``; empty input gives an all-zero summary."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        maximum=float(arr.max()),
+    )
+
+
+def confidence_halfwidth(samples: Sequence[float], z: float = 1.96) -> float:
+    """Half-width of the normal-approximation CI for the mean."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size < 2:
+        return 0.0
+    return float(z * arr.std(ddof=1) / np.sqrt(arr.size))
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio: 0 when the denominator is 0."""
+    return numerator / denominator if denominator else 0.0
+
+
+def jains_fairness(shares: Sequence[float]) -> float:
+    """Jain's fairness index over per-station shares, in (0, 1].
+
+    Used by E2 to show that rising 2.4 GHz density doesn't just shrink the
+    pie but also makes the slices uneven.
+    """
+    arr = np.asarray(list(shares), dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("fairness of an empty share vector")
+    total = arr.sum()
+    if total == 0:
+        return 1.0
+    return float(total ** 2 / (arr.size * np.square(arr).sum()))

@@ -1,0 +1,38 @@
+"""Networking substrate: frames, links, transport, multicast, bridging.
+
+Everything here is the "Net" box of the paper's resource layer — the
+networking capability applications count on — built on the wireless
+physical layer (:mod:`repro.phys`) and the wired links of the traditional
+network the Aroma project connects to.
+"""
+
+from .addresses import BROADCAST, AddressAllocator, is_broadcast, validate_address
+from .bridge import Bridge
+from .frames import HEADER_BYTES, MTU_BYTES, Frame
+from .link import WiredLink, WiredPort
+from .multicast import MULTICAST_PORT, GroupDatagram, MulticastService
+from .queueing import DropTailQueue, TokenBucket
+from .stack import NetworkStack
+from .transport import Ack, ReliableEndpoint, Segment
+
+__all__ = [
+    "Ack",
+    "AddressAllocator",
+    "BROADCAST",
+    "Bridge",
+    "DropTailQueue",
+    "Frame",
+    "GroupDatagram",
+    "HEADER_BYTES",
+    "MTU_BYTES",
+    "MULTICAST_PORT",
+    "MulticastService",
+    "NetworkStack",
+    "ReliableEndpoint",
+    "Segment",
+    "TokenBucket",
+    "WiredLink",
+    "WiredPort",
+    "is_broadcast",
+    "validate_address",
+]

@@ -1,0 +1,58 @@
+"""Addressing for the simulated network substrate.
+
+Addresses are short strings (node names) — the simulation equivalent of a
+MAC/IP pair.  A :data:`BROADCAST` sentinel addresses every station on a
+segment, which the discovery protocol's multicast announcements ride on.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..kernel.errors import AddressError
+
+#: Destination matching every station on the segment/channel.
+BROADCAST: str = "*"
+
+_ADDRESS_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._:\-]*$")
+
+
+def validate_address(address: str) -> str:
+    """Validate and return ``address``; raises :class:`AddressError`."""
+    if address == BROADCAST:
+        return address
+    if not isinstance(address, str) or not _ADDRESS_RE.match(address):
+        raise AddressError(f"malformed address {address!r}")
+    return address
+
+
+def is_broadcast(address: str) -> bool:
+    return address == BROADCAST
+
+
+class AddressAllocator:
+    """Hands out unique addresses with a common prefix (``pda-1``, ``pda-2``...)."""
+
+    def __init__(self) -> None:
+        self._counters: dict = {}
+        self._issued: set = set()
+
+    def allocate(self, prefix: str) -> str:
+        validate_address(prefix)
+        count = self._counters.get(prefix, 0) + 1
+        self._counters[prefix] = count
+        address = f"{prefix}-{count}"
+        self._issued.add(address)
+        return address
+
+    def reserve(self, address: str) -> str:
+        """Claim a specific address; fails if already issued."""
+        validate_address(address)
+        if address in self._issued:
+            raise AddressError(f"address {address!r} already issued")
+        self._issued.add(address)
+        return address
+
+    def issued(self) -> Iterable[str]:
+        return sorted(self._issued)

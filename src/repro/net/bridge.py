@@ -1,0 +1,75 @@
+"""A learning bridge joining wired and wireless segments.
+
+The Aroma scenario spans both worlds: the Jini lookup service may live on
+the laboratory's wired LAN while the adapter and laptop are wireless.  A
+:class:`Bridge` owns several interfaces (wireless NICs, wired ports),
+learns source addresses per interface, and forwards frames — flooding
+unknown destinations and broadcasts to every other interface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..kernel.errors import ConfigurationError
+from ..kernel.scheduler import Simulator
+from .addresses import BROADCAST
+from .frames import Frame
+
+
+class Bridge:
+    """A transparent learning bridge.
+
+    Interfaces must expose ``address``, ``send_frame`` and an
+    ``on_receive`` slot (both :class:`repro.phys.nic.WirelessNIC` and
+    :class:`repro.net.link.WiredPort` qualify).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "bridge") -> None:
+        self.sim = sim
+        self.name = name
+        self._interfaces: List = []
+        self._table: Dict[str, int] = {}  # learned address -> interface idx
+        self.forwarded = 0
+        self.flooded = 0
+        self.filtered = 0
+
+    def attach(self, interface) -> None:
+        """Add an interface; the bridge takes over its receive slot."""
+        for existing in self._interfaces:
+            if existing.address == interface.address:
+                raise ConfigurationError(
+                    f"interface {interface.address!r} already attached")
+        index = len(self._interfaces)
+        self._interfaces.append(interface)
+        interface.on_receive = lambda frame, i=index: self._ingress(i, frame)
+
+    def interfaces(self) -> List:
+        return list(self._interfaces)
+
+    def _ingress(self, index: int, frame: Frame) -> None:
+        # Learn the sender's location.
+        self._table[frame.src] = index
+        dst = frame.dst
+        if dst == BROADCAST:
+            self._flood(index, frame)
+            return
+        known = self._table.get(dst)
+        if known is None:
+            self._flood(index, frame)
+        elif known == index:
+            self.filtered += 1  # destination is back where it came from
+        else:
+            self.forwarded += 1
+            self._interfaces[known].send_frame(frame)
+
+    def _flood(self, ingress_index: int, frame: Frame) -> None:
+        self.flooded += 1
+        for i, interface in enumerate(self._interfaces):
+            if i != ingress_index:
+                interface.send_frame(frame)
+
+    def learned(self) -> Dict[str, str]:
+        """Learned address table: address -> interface address."""
+        return {addr: self._interfaces[i].address
+                for addr, i in self._table.items()}

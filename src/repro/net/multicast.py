@@ -1,0 +1,88 @@
+"""Group (multicast) communication over broadcast-capable interfaces.
+
+Jini discovery begins with multicast request/announcement; this module
+provides the group abstraction those protocol steps ride on.  Groups are
+named; datagrams are carried in broadcast frames on a well-known port and
+filtered by membership at the receiver — exactly how IP multicast degrades
+on a single 802.11 segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from ..kernel.errors import ConfigurationError
+from ..kernel.scheduler import Simulator
+from .stack import NetworkStack
+
+#: Well-known stack port carrying all multicast datagrams.
+MULTICAST_PORT: int = 7
+
+
+@dataclass(frozen=True)
+class GroupDatagram:
+    """Envelope for a multicast payload."""
+
+    group: str
+    data: Any
+
+
+class MulticastService:
+    """Per-node multicast membership and delivery.
+
+    One instance binds :data:`MULTICAST_PORT` on the node's stack; joins
+    register handlers per group name.
+    """
+
+    def __init__(self, sim: Simulator, stack: NetworkStack) -> None:
+        self.sim = sim
+        self.stack = stack
+        self._groups: Dict[str, List[Callable[[str, Any], None]]] = {}
+        stack.bind(MULTICAST_PORT, self._receive)
+        self.datagrams_sent = 0
+        self.datagrams_delivered = 0
+        self.datagrams_filtered = 0
+
+    def join(self, group: str, handler: Callable[[str, Any], None]) -> Callable[[], None]:
+        """Join ``group``; ``handler(src, data)`` is called per datagram.
+
+        Returns a leave function.
+        """
+        if not group:
+            raise ConfigurationError("group name must be non-empty")
+        handlers = self._groups.setdefault(group, [])
+        handlers.append(handler)
+
+        def leave() -> None:
+            try:
+                handlers.remove(handler)
+            except ValueError:
+                pass
+            if not handlers and self._groups.get(group) is handlers:
+                del self._groups[group]
+
+        return leave
+
+    def member_of(self, group: str) -> bool:
+        return group in self._groups
+
+    def send(self, group: str, data: Any, size_bytes: int = 64) -> bool:
+        """Multicast ``data`` to ``group`` (one broadcast frame)."""
+        if not group:
+            raise ConfigurationError("group name must be non-empty")
+        self.datagrams_sent += 1
+        return self.stack.broadcast(GroupDatagram(group, data), size_bytes,
+                                    MULTICAST_PORT)
+
+    def _receive(self, frame) -> None:
+        payload = frame.payload
+        if not isinstance(payload, GroupDatagram):
+            return
+        handlers = self._groups.get(payload.group)
+        if not handlers:
+            self.datagrams_filtered += 1
+            return
+        self.datagrams_delivered += 1
+        for handler in list(handlers):
+            handler(frame.src, payload.data)

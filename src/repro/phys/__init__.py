@@ -1,0 +1,81 @@
+"""The physical layer: hardware *and* the physical user.
+
+The paper's second structural claim: "for pervasive computing, the
+physical user must also be included" in the physical layer.  So this
+package holds radios, MACs, batteries and appliances next to human bodies,
+speech signals and ergonomic compatibility — with the layer's defining
+relation (entities "must be compatible with" one another) in
+:mod:`repro.phys.ergonomics`.
+"""
+
+from .devices import (
+    AromaAdapter,
+    Device,
+    DigitalProjector,
+    Laptop,
+    PDA,
+    laptop_form,
+    pda_form,
+    projector_form,
+)
+from .ergonomics import (
+    BASE_CONTROL_MM,
+    BASE_GLYPH_MM,
+    CompatibilityReport,
+    FormFactor,
+    Mismatch,
+    check_compatibility,
+    tether_constraint,
+)
+from .human import (
+    PhysicalProfile,
+    PhysicalUser,
+    SpeechRecognizer,
+    SpeechSignal,
+)
+from .mac import (
+    ACK_S,
+    DIFS_S,
+    PREAMBLE_S,
+    SIFS_S,
+    SLOT_S,
+    CsmaMac,
+    Transmission,
+    WirelessMedium,
+)
+from .nic import WirelessNIC
+from .power import DEFAULT_DRAW_W, Battery, EnergyMeter
+
+__all__ = [
+    "ACK_S",
+    "AromaAdapter",
+    "BASE_CONTROL_MM",
+    "BASE_GLYPH_MM",
+    "Battery",
+    "CompatibilityReport",
+    "CsmaMac",
+    "DEFAULT_DRAW_W",
+    "DIFS_S",
+    "Device",
+    "DigitalProjector",
+    "EnergyMeter",
+    "FormFactor",
+    "Laptop",
+    "Mismatch",
+    "PDA",
+    "PREAMBLE_S",
+    "PhysicalProfile",
+    "PhysicalUser",
+    "SIFS_S",
+    "SLOT_S",
+    "SpeechRecognizer",
+    "SpeechSignal",
+    "Transmission",
+    "WirelessMedium",
+    "WirelessNIC",
+    "check_compatibility",
+    "laptop_form",
+    "pda_form",
+    "projector_form",
+    "tether_constraint",
+]

@@ -1,0 +1,249 @@
+"""Physical devices: the hardware entities of the Aroma scenario.
+
+"There are four major physical and logical entities in our example: a
+user ...; the laptop ...; the smart projector consisting of the projector,
+the Aroma Adapter and related software; and the Jini Lookup Service."
+This module builds the hardware half: :class:`Laptop`, :class:`AromaAdapter`
+(the embedded PC that makes a dumb appliance pervasive),
+:class:`DigitalProjector` (the dumb appliance itself — no radio, fed over a
+video cable), and :class:`PDA`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..env.radio import RateMode
+from ..env.world import World
+from ..kernel.errors import ConfigurationError
+from ..kernel.scheduler import Simulator
+from ..net.multicast import MulticastService
+from ..net.stack import NetworkStack
+from ..net.transport import ReliableEndpoint
+from ..resource.platform import (
+    PlatformProfile,
+    adapter_platform,
+    laptop_platform,
+    pda_platform,
+)
+from .ergonomics import FormFactor
+from .mac import WirelessMedium
+from .nic import WirelessNIC
+from .power import Battery
+
+
+class Device:
+    """Base class: a placed, optionally networked piece of hardware.
+
+    Args:
+        sim: simulator.
+        world: shared geometry; the device is placed under ``name``.
+        name: unique name, also the station address when networked.
+        position: initial ``(x, y)`` in metres.
+        medium: attach a wireless NIC on this medium when given.
+        channel: 2.4 GHz channel for the NIC.
+        platform: resource-layer descriptor (subclasses pick presets).
+        form: physical form factor for ergonomic checks.
+        battery: optional battery; mains power otherwise.
+        fixed_rate: pin the PHY rate.
+    """
+
+    def __init__(self, sim: Simulator, world: World, name: str,
+                 position: Sequence[float], *,
+                 medium: Optional[WirelessMedium] = None,
+                 channel: int = 6,
+                 platform: Optional[PlatformProfile] = None,
+                 form: Optional[FormFactor] = None,
+                 battery: Optional[Battery] = None,
+                 fixed_rate: Optional[RateMode] = None,
+                 tx_power_dbm: float = 15.0) -> None:
+        self.sim = sim
+        self.world = world
+        self.name = name
+        self.placement = world.place(name, position)
+        self.platform = platform
+        self.form = form or FormFactor(name=name)
+        self.battery = battery
+        self.nic: Optional[WirelessNIC] = None
+        self.stack: Optional[NetworkStack] = None
+        self.multicast: Optional[MulticastService] = None
+        if medium is not None:
+            self.nic = WirelessNIC(sim, medium, name, channel=channel,
+                                   battery=battery, fixed_rate=fixed_rate,
+                                   tx_power_dbm=tx_power_dbm)
+            self.stack = NetworkStack(sim, self.nic)
+            self.multicast = MulticastService(sim, self.stack)
+
+    @property
+    def networked(self) -> bool:
+        return self.stack is not None
+
+    def reliable(self, port: int,
+                 on_message: Optional[Callable[[str, Any, int], None]] = None,
+                 **kwargs) -> ReliableEndpoint:
+        """Open a reliable message endpoint on ``port``."""
+        if self.stack is None:
+            raise ConfigurationError(f"{self.name!r} has no network stack")
+        return ReliableEndpoint(self.sim, self.stack, port, on_message, **kwargs)
+
+    @property
+    def position(self):
+        return self.placement.position
+
+    def __repr__(self) -> str:  # pragma: no cover
+        net = f" ch{self.nic.channel}" if self.nic else " (offline)"
+        return f"<{type(self).__name__} {self.name}{net}>"
+
+
+# ---------------------------------------------------------------------------
+# Form-factor presets (1999/2000 hardware)
+# ---------------------------------------------------------------------------
+
+def laptop_form(name: str = "laptop") -> FormFactor:
+    """A presentation laptop: fine controls, good screen, but *tethering* —
+    operating it requires standing at it, the paper's physical-layer
+    complaint about controlling the projector from the laptop."""
+    return FormFactor(name=name, control_size_mm=17.0, glyph_size_mm=3.0,
+                      weight_kg=3.2, requires_proximity=True,
+                      operating_distance_m=0.5, portable=True)
+
+
+def pda_form(name: str = "pda") -> FormFactor:
+    return FormFactor(name=name, control_size_mm=6.0, glyph_size_mm=1.8,
+                      weight_kg=0.25, requires_proximity=True,
+                      operating_distance_m=0.4, portable=True)
+
+
+def projector_form(name: str = "projector") -> FormFactor:
+    """The projector as a fixture; its on-body buttons are small and the
+    user operates them from wherever the projector is mounted."""
+    return FormFactor(name=name, control_size_mm=8.0, glyph_size_mm=2.5,
+                      weight_kg=8.0, requires_proximity=True,
+                      operating_distance_m=0.5, portable=False)
+
+
+# ---------------------------------------------------------------------------
+# Concrete devices
+# ---------------------------------------------------------------------------
+
+class Laptop(Device):
+    """The presenter's laptop: wireless, GUI platform, battery powered."""
+
+    def __init__(self, sim: Simulator, world: World, name: str,
+                 position: Sequence[float], medium: WirelessMedium,
+                 channel: int = 6, **kwargs) -> None:
+        battery = kwargs.pop("battery", Battery(sim, 150_000.0, f"{name}.battery"))
+        super().__init__(sim, world, name, position, medium=medium,
+                         channel=channel,
+                         platform=kwargs.pop("platform", laptop_platform(name)),
+                         form=kwargs.pop("form", laptop_form(name)),
+                         battery=battery, **kwargs)
+
+
+class PDA(Device):
+    """A personal digital assistant — small, constrained, battery powered."""
+
+    def __init__(self, sim: Simulator, world: World, name: str,
+                 position: Sequence[float], medium: WirelessMedium,
+                 channel: int = 6, **kwargs) -> None:
+        battery = kwargs.pop("battery", Battery(sim, 5_000.0, f"{name}.battery"))
+        super().__init__(sim, world, name, position, medium=medium,
+                         channel=channel,
+                         platform=kwargs.pop("platform", pda_platform(name)),
+                         form=kwargs.pop("form", pda_form(name)),
+                         battery=battery, **kwargs)
+
+
+class DigitalProjector:
+    """The commercially available digital projector — a *dumb* appliance.
+
+    It has no radio: it displays whatever arrives on its video input and
+    obeys front-panel commands.  The :class:`AromaAdapter` is what makes it
+    pervasive.
+    """
+
+    def __init__(self, sim: Simulator, world: World, name: str,
+                 position: Sequence[float],
+                 resolution: tuple = (1024, 768)) -> None:
+        if resolution[0] <= 0 or resolution[1] <= 0:
+            raise ConfigurationError("bad resolution")
+        self.sim = sim
+        self.name = name
+        self.placement = world.place(name, position)
+        self.form = projector_form(name)
+        self.resolution = tuple(resolution)
+        self.lamp_on = False
+        self.brightness = 0.8
+        self.input_source: Optional[str] = None
+        self.frames_displayed = 0
+        self.pixels_displayed = 0
+        self.display_times: List[float] = []
+
+    def power(self, on: bool) -> None:
+        self.lamp_on = bool(on)
+        self.sim.trace("projector.power", self.name, f"lamp {'on' if on else 'off'}")
+
+    def select_input(self, source: str) -> None:
+        self.input_source = source
+
+    def set_brightness(self, level: float) -> float:
+        """Set lamp brightness, clamped to [0.1, 1.0]; returns the level."""
+        self.brightness = float(min(1.0, max(0.1, level)))
+        return self.brightness
+
+    def display(self, source: str, pixels: int) -> bool:
+        """Show an update arriving on the video input.
+
+        Returns False (nothing shown) if the lamp is off or the wrong
+        input is selected — the failure modes a user's mental model must
+        track.
+        """
+        if not self.lamp_on or self.input_source != source:
+            self.sim.trace("projector.blackout", self.name,
+                           f"update from {source} not displayable "
+                           f"(lamp={self.lamp_on}, input={self.input_source})")
+            return False
+        self.frames_displayed += 1
+        self.pixels_displayed += pixels
+        self.display_times.append(self.sim.now)
+        return True
+
+    def displayed_fps(self, window_s: float = 5.0) -> float:
+        """Frames per second over the trailing ``window_s``."""
+        cutoff = self.sim.now - window_s
+        recent = [t for t in self.display_times if t >= cutoff]
+        elapsed = min(window_s, self.sim.now) or 1.0
+        return len(recent) / elapsed
+
+
+class AromaAdapter(Device):
+    """The Aroma Adapter: "an embedded PC capable of running pervasive
+    computing software", bridging the wireless world to a dumb appliance
+    over a video cable."""
+
+    VIDEO_SOURCE = "video-in"
+
+    def __init__(self, sim: Simulator, world: World, name: str,
+                 position: Sequence[float], medium: WirelessMedium,
+                 channel: int = 6, **kwargs) -> None:
+        super().__init__(sim, world, name, position, medium=medium,
+                         channel=channel,
+                         platform=kwargs.pop("platform", adapter_platform(name)),
+                         form=kwargs.pop("form", FormFactor(
+                             name=name, control_size_mm=10.0, glyph_size_mm=3.0,
+                             weight_kg=1.5, portable=False)),
+                         **kwargs)
+        self.projector: Optional[DigitalProjector] = None
+
+    def connect_projector(self, projector: DigitalProjector) -> None:
+        """Plug the video cable in and select our input on the appliance."""
+        self.projector = projector
+        projector.select_input(self.VIDEO_SOURCE)
+
+    def drive_display(self, pixels: int) -> bool:
+        """Push decoded framebuffer content out the video port."""
+        if self.projector is None:
+            self.sim.issue("physical", self.name,
+                           "no projector connected to the adapter")
+            return False
+        return self.projector.display(self.VIDEO_SOURCE, pixels)

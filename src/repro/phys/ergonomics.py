@@ -1,0 +1,153 @@
+"""Physical compatibility between devices and users.
+
+"A PDA that does not properly consider human physical characteristics in
+its design is doomed to failure even though it may have a brilliant
+software architecture."  The paper makes *physical compatibility* the
+defining relation of the physical layer (Figure 2: entities "must be
+compatible with" one another).  This module checks a device's form factor
+against a user's :class:`~repro.phys.human.PhysicalProfile` and returns a
+structured report that feeds the LPC physical-layer constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..kernel.errors import ConfigurationError
+from .human import PhysicalProfile
+
+
+@dataclass
+class FormFactor:
+    """Physical interaction characteristics of a device."""
+
+    name: str
+    #: smallest interactive control (button/key) dimension, mm.
+    control_size_mm: float = 10.0
+    #: smallest text glyph height, mm.
+    glyph_size_mm: float = 3.0
+    #: device weight, kg (matters for handhelds the user must carry).
+    weight_kg: float = 0.3
+    #: does using it require standing within reach of the device?
+    requires_proximity: bool = False
+    #: distance from which the user must operate it, metres.
+    operating_distance_m: float = 0.5
+    #: audio feedback level at the operating distance, dB SPL (0 = silent).
+    feedback_level_db: float = 0.0
+    #: is the device carried (True) or a fixture (False)?
+    portable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.control_size_mm <= 0 or self.glyph_size_mm <= 0:
+            raise ConfigurationError("control/glyph sizes must be positive")
+        if self.weight_kg < 0 or self.operating_distance_m < 0:
+            raise ConfigurationError("weight and distance must be non-negative")
+
+
+#: Minimum comfortable control size for perfect dexterity, mm.
+BASE_CONTROL_MM: float = 7.0
+#: Minimum readable glyph height for 20/20 vision at 0.5 m, mm.
+BASE_GLYPH_MM: float = 2.0
+
+
+@dataclass
+class Mismatch:
+    """One physical incompatibility between a device and a user."""
+
+    aspect: str          #: "controls", "display", "weight", "proximity", "audio"
+    description: str
+    #: severity in (0, 1]; 1 means the device is unusable for this user.
+    severity: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.severity <= 1.0):
+            raise ConfigurationError("severity must be in (0, 1]")
+
+
+@dataclass
+class CompatibilityReport:
+    """Outcome of checking one device against one user."""
+
+    device: str
+    user: str
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def compatible(self) -> bool:
+        """No blocking mismatch (severity ≥ 0.8)."""
+        return all(m.severity < 0.8 for m in self.mismatches)
+
+    @property
+    def score(self) -> float:
+        """1.0 = perfect fit; multiplicative penalty per mismatch."""
+        score = 1.0
+        for m in self.mismatches:
+            score *= 1.0 - m.severity
+        return score
+
+
+def check_compatibility(form: FormFactor, profile: PhysicalProfile) -> CompatibilityReport:
+    """Check every physical aspect of ``form`` against ``profile``."""
+    report = CompatibilityReport(form.name, profile.name)
+
+    # Controls vs dexterity: required size grows as dexterity falls.
+    needed_control = BASE_CONTROL_MM / max(profile.dexterity, 0.05)
+    if form.control_size_mm < needed_control:
+        deficit = 1.0 - form.control_size_mm / needed_control
+        report.mismatches.append(Mismatch(
+            "controls",
+            f"controls {form.control_size_mm:.1f}mm < needed "
+            f"{needed_control:.1f}mm for dexterity {profile.dexterity:.2f}",
+            min(1.0, 0.4 + deficit)))
+
+    # Display vs vision, scaled by operating distance relative to 0.5 m.
+    distance_factor = max(form.operating_distance_m, 0.1) / 0.5
+    needed_glyph = BASE_GLYPH_MM * distance_factor / max(profile.vision_acuity, 0.05)
+    if form.glyph_size_mm < needed_glyph:
+        deficit = 1.0 - form.glyph_size_mm / needed_glyph
+        report.mismatches.append(Mismatch(
+            "display",
+            f"glyphs {form.glyph_size_mm:.1f}mm < needed {needed_glyph:.1f}mm "
+            f"at {form.operating_distance_m:.1f}m for acuity "
+            f"{profile.vision_acuity:.2f}",
+            min(1.0, 0.3 + deficit)))
+
+    # Weight vs carrying comfort (portables only).
+    if form.portable and form.weight_kg > profile.carry_limit_kg:
+        excess = form.weight_kg / profile.carry_limit_kg - 1.0
+        report.mismatches.append(Mismatch(
+            "weight",
+            f"{form.weight_kg:.2f}kg exceeds comfortable "
+            f"{profile.carry_limit_kg:.2f}kg",
+            min(1.0, 0.3 + 0.5 * excess)))
+
+    # Proximity: a fixture demanding arm's-length operation constrains the
+    # user's movement — the paper's laptop-tether complaint.
+    if form.requires_proximity and form.operating_distance_m > profile.reach_m:
+        report.mismatches.append(Mismatch(
+            "proximity",
+            f"operation needs reach {form.operating_distance_m:.2f}m > "
+            f"user reach {profile.reach_m:.2f}m",
+            0.9))
+
+    # Audio feedback vs hearing.
+    if form.feedback_level_db > 0 and not form.feedback_level_db >= profile.hearing_threshold_db:
+        report.mismatches.append(Mismatch(
+            "audio",
+            f"feedback at {form.feedback_level_db:.0f}dB below hearing "
+            f"threshold {profile.hearing_threshold_db:.0f}dB",
+            0.5))
+
+    return report
+
+
+def tether_constraint(form: FormFactor) -> Optional[str]:
+    """The paper's physical-layer finding about the Smart Projector: using
+    a laptop to control the projector "directly constrains the presenter by
+    requiring physical proximity to the laptop".  Returns a description of
+    the tether a form factor imposes, or None for an untethered design."""
+    if form.requires_proximity:
+        return (f"user must stay within {form.operating_distance_m:.1f} m of "
+                f"{form.name} to operate it")
+    return None

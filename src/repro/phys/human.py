@@ -1,0 +1,142 @@
+"""The physical user: "the user's body and the signals it is capable of
+sending and receiving".
+
+The paper insists the physical layer contains the user's physiology, not
+just hardware: speech and biometrics are *signals from the body* that
+control flow depends on.  This module models those signals plus the body
+characteristics ergonomics checks against, and a speech recogniser whose
+accuracy degrades with acoustic SNR (experiment E8).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..kernel.errors import ConfigurationError
+from ..kernel.scheduler import Simulator
+
+
+def _unit(value: float, name: str) -> float:
+    if not (0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+@dataclass
+class PhysicalProfile:
+    """Slow-changing physical characteristics of one user.
+
+    Per the paper's temporal-specificity ordering these change the slowest
+    of all user-column attributes.
+    """
+
+    name: str
+    #: conversational speech level at 1 m, dB SPL.
+    speech_level_db: float = 62.0
+    #: articulation quality, 1.0 = studio announcer.
+    speech_clarity: float = 0.95
+    #: visual acuity, 1.0 = 20/20; scales minimum readable glyph size.
+    vision_acuity: float = 1.0
+    #: fine-motor control, scales minimum comfortable control size.
+    dexterity: float = 1.0
+    #: quietest audible level, dB SPL (≈ 25 for normal hearing).
+    hearing_threshold_db: float = 25.0
+    #: arm reach in metres.
+    reach_m: float = 0.7
+    #: sustained carrying comfort, kg.
+    carry_limit_kg: float = 2.5
+
+    def __post_init__(self) -> None:
+        _unit(self.speech_clarity, "speech_clarity")
+        _unit(self.vision_acuity, "vision_acuity")
+        _unit(self.dexterity, "dexterity")
+        if self.reach_m <= 0 or self.carry_limit_kg <= 0:
+            raise ConfigurationError("reach and carry limit must be positive")
+
+    def biometric_signature(self) -> str:
+        """A stable identifier derived from the body (voice-print analog)."""
+        digest = hashlib.sha256(
+            f"{self.name}|{self.speech_level_db:.2f}|{self.speech_clarity:.3f}".encode()
+        )
+        return digest.hexdigest()[:16]
+
+
+@dataclass
+class SpeechSignal:
+    """An utterance as a physical signal."""
+
+    speaker: str
+    words: Sequence[str]
+    level_db: float
+    clarity: float
+
+
+class PhysicalUser:
+    """A user's body placed in the world."""
+
+    def __init__(self, sim: Simulator, profile: PhysicalProfile) -> None:
+        self.sim = sim
+        self.profile = profile
+        self.name = profile.name
+
+    def speak(self, words: Sequence[str]) -> SpeechSignal:
+        if not words:
+            raise ConfigurationError("an utterance needs at least one word")
+        return SpeechSignal(self.name, tuple(words),
+                            self.profile.speech_level_db,
+                            self.profile.speech_clarity)
+
+    def can_hear(self, level_db: float) -> bool:
+        """Is a sound at ``level_db`` (at the ear) audible to this user?"""
+        return level_db >= self.profile.hearing_threshold_db
+
+
+class SpeechRecognizer:
+    """A speech recogniser whose word accuracy is a psychometric function
+    of acoustic SNR.
+
+    ``accuracy(snr) = clarity · σ((snr − snr50) / slope)`` — a logistic
+    rising from ~0 in heavy noise to the speaker's articulation ceiling.
+    ``snr50`` defaults to 12 dB, a typical machine-ASR midpoint.
+    """
+
+    def __init__(self, sim: Simulator, snr50_db: float = 12.0,
+                 slope_db: float = 3.0, name: str = "asr") -> None:
+        if slope_db <= 0:
+            raise ConfigurationError("slope must be positive")
+        self.sim = sim
+        self.snr50_db = float(snr50_db)
+        self.slope_db = float(slope_db)
+        self.name = name
+        self._rng = sim.rng(f"asr.{name}")
+        self.words_heard = 0
+        self.words_correct = 0
+
+    def word_accuracy(self, snr_db: float, clarity: float = 1.0) -> float:
+        """Expected per-word recognition probability."""
+        sigma = 1.0 / (1.0 + np.exp(-(snr_db - self.snr50_db) / self.slope_db))
+        return float(np.clip(clarity * sigma, 0.0, 1.0))
+
+    def recognize(self, signal: SpeechSignal, snr_db: float) -> List[Optional[str]]:
+        """Transcribe an utterance; misrecognised words come back as None."""
+        accuracy = self.word_accuracy(snr_db, signal.clarity)
+        out: List[Optional[str]] = []
+        for word in signal.words:
+            self.words_heard += 1
+            if self._rng.random() < accuracy:
+                self.words_correct += 1
+                out.append(word)
+            else:
+                out.append(None)
+        return out
+
+    @property
+    def measured_wer(self) -> float:
+        """Word error rate over everything heard so far."""
+        if self.words_heard == 0:
+            return 0.0
+        return 1.0 - self.words_correct / self.words_heard

@@ -1,0 +1,432 @@
+"""The shared wireless medium and a CSMA/CA-style MAC.
+
+Together with :mod:`repro.env.radio` this is the executable version of the
+paper's Aroma wireless substrate (a 1999-era 2.4 GHz 802.11-class LAN).
+The model is an "802.11b-lite":
+
+* **Medium** — tracks every in-flight transmission.  Interference is
+  mutual: any two transmissions that overlap in time interfere, weighted
+  by their spectral overlap (:func:`repro.env.spectrum.overlap_factor`).
+  Delivery is decided at transmission end from the receiver's SINR through
+  the rate's frame-error-rate curve.  Hidden terminals emerge naturally:
+  carrier sense happens at the *sender*, SINR at the *receiver*.
+* **CSMA/CA MAC** — DIFS + carrier sense + binary-exponential backoff with
+  retry limit.  Unicast success is observed through a "genie ACK": the
+  sender learns the receiver-side outcome after SIFS + ACK airtime without
+  putting the ACK on the air (a standard simulator simplification that
+  preserves timing and loss shape while halving event count).
+
+Timing constants follow 802.11b long-preamble numbers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from ..env.radio import (
+    NOISE_FLOOR_DBM,
+    PropagationModel,
+    RateMode,
+    sinr_db,
+)
+from ..env.spectrum import overlap_factor, validate_channel
+from ..env.world import World
+from ..kernel.errors import ConfigurationError, NetworkError
+from ..kernel.events import Priority
+from ..kernel.scheduler import Simulator
+from ..net.addresses import BROADCAST
+from ..net.frames import Frame
+
+#: 802.11b long-preamble PLCP duration (s).
+PREAMBLE_S: float = 192e-6
+#: Slot time (s).
+SLOT_S: float = 20e-6
+#: Short interframe space (s).
+SIFS_S: float = 10e-6
+#: DCF interframe space (s).
+DIFS_S: float = 50e-6
+#: ACK frame airtime at the 2 Mb/s control rate incl. preamble (s).
+ACK_S: float = PREAMBLE_S + (14 * 8) / 2e6
+
+
+class Transmission:
+    """One in-flight frame on the medium."""
+
+    __slots__ = ("sender", "frame", "channel", "rate", "power_dbm",
+                 "start", "end", "interferers")
+
+    def __init__(self, sender: "CsmaMac", frame: Frame, channel: int,
+                 rate: RateMode, power_dbm: float, start: float, end: float) -> None:
+        self.sender = sender
+        self.frame = frame
+        self.channel = channel
+        self.rate = rate
+        self.power_dbm = power_dbm
+        self.start = start
+        self.end = end
+        #: transmissions that overlapped this one in time at any point.
+        self.interferers: List["Transmission"] = []
+
+
+class WirelessMedium:
+    """The shared 2.4 GHz medium for one deployment."""
+
+    def __init__(self, sim: Simulator, world: World,
+                 propagation: Optional[PropagationModel] = None,
+                 fast_fading: bool = False) -> None:
+        self.sim = sim
+        self.world = world
+        self.propagation = propagation or PropagationModel(
+            rng=sim.rng("radio.shadowing"))
+        #: per-frame Rayleigh fading on the wanted signal — models a busy
+        #: multipath room where even a static link flutters.  Off by
+        #: default (log-normal shadowing alone keeps links stable, which
+        #: most experiments want).
+        self.fast_fading = fast_fading
+        self._macs: Dict[str, "CsmaMac"] = {}
+        self._active: List[Transmission] = []
+        self._rng = sim.rng("radio.delivery")
+        self._fading_rng = sim.rng("radio.fading")
+        self.total_transmissions = 0
+        self.total_deliveries = 0
+        self.total_decode_failures = 0
+        #: cumulative airtime per channel — what a passive scan observes.
+        self.channel_airtime: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, mac: "CsmaMac") -> None:
+        if mac.address in self._macs:
+            raise ConfigurationError(f"MAC {mac.address!r} already attached")
+        if mac.address not in self.world:
+            raise ConfigurationError(
+                f"{mac.address!r} has no placement in the world; place the "
+                "device before attaching its NIC")
+        self._macs[mac.address] = mac
+
+    def stations(self) -> List[str]:
+        return sorted(self._macs)
+
+    # ------------------------------------------------------------------
+    # Channel state as seen by one station
+    # ------------------------------------------------------------------
+    def _rx_power(self, tx: Transmission, rx_address: str) -> float:
+        dist = self.world.distance_between(rx_address, tx.sender.address)
+        return self.propagation.received_power_dbm(
+            tx.power_dbm, dist, tx.sender.address, rx_address)
+
+    def busy_for(self, mac: "CsmaMac") -> bool:
+        """Carrier sense at ``mac``: any audible overlapping transmission?"""
+        for tx in self._active:
+            if tx.sender is mac:
+                return True  # half-duplex: own transmission occupies us
+            factor = overlap_factor(mac.channel, tx.channel)
+            if factor <= 0.0:
+                continue
+            power = self._rx_power(tx, mac.address)
+            # Adjacent-channel energy is attenuated by the overlap factor.
+            if power + 10.0 * _log10(factor) >= mac.cs_threshold_dbm:
+                return True
+        return False
+
+    def expected_sinr_db(self, src: "CsmaMac", dst_address: str) -> float:
+        """Interference-free SINR estimate src->dst (rate-adaptation input)."""
+        if dst_address not in self._macs:
+            raise NetworkError(f"no station {dst_address!r} on this medium")
+        dist = self.world.distance_between(dst_address, src.address)
+        signal = self.propagation.received_power_dbm(
+            src.tx_power_dbm, dist, src.address, dst_address)
+        return signal - NOISE_FLOOR_DBM
+
+    # ------------------------------------------------------------------
+    # Transmission lifecycle
+    # ------------------------------------------------------------------
+    def transmit(self, mac: "CsmaMac", frame: Frame, rate: RateMode) -> Transmission:
+        now = self.sim.now
+        duration = frame.airtime(rate.bits_per_second, PREAMBLE_S)
+        tx = Transmission(mac, frame, mac.channel, rate, mac.tx_power_dbm,
+                          now, now + duration)
+        for other in self._active:
+            other.interferers.append(tx)
+            tx.interferers.append(other)
+        self._active.append(tx)
+        self.total_transmissions += 1
+        self.channel_airtime[mac.channel] = \
+            self.channel_airtime.get(mac.channel, 0.0) + duration
+        self.sim.schedule(duration, self._finish, tx, priority=Priority.MEDIUM)
+        self.sim.trace("mac.tx", mac.address,
+                       f"tx #{frame.frame_id} -> {frame.dst} @{rate.name}",
+                       bytes=frame.wire_bytes, channel=mac.channel)
+        return tx
+
+    def _finish(self, tx: Transmission) -> None:
+        self._active.remove(tx)
+        frame = tx.frame
+        delivered_to_dst: Optional[bool] = None
+        if frame.dst == BROADCAST:
+            for address, mac in self._macs.items():
+                if mac is tx.sender:
+                    continue
+                if mac.channel == tx.channel and self._decode(tx, mac):
+                    mac._deliver(frame, tx.rate)
+        else:
+            dst = self._macs.get(frame.dst)
+            if dst is None or dst.channel != tx.channel:
+                delivered_to_dst = False
+            else:
+                delivered_to_dst = self._decode(tx, dst)
+                if delivered_to_dst:
+                    dst._deliver(frame, tx.rate)
+            # Promiscuous stations (bridges/access points) overhear
+            # unicast frames destined elsewhere, so they can forward them
+            # toward the wired network.  An off-segment destination (dst
+            # is None) that a bridge picks up counts as delivered — the
+            # bridge's genie-ACK, like a real AP acking on behalf of the
+            # distribution system.
+            for mac in self._macs.values():
+                if (mac.promiscuous and mac is not tx.sender
+                        and mac is not dst
+                        and mac.channel == tx.channel
+                        and mac.address != frame.dst
+                        and self._decode(tx, mac)):
+                    mac._deliver(frame, tx.rate)
+                    if dst is None:
+                        delivered_to_dst = True
+        tx.sender._tx_done(tx, delivered_to_dst)
+
+    def _decode(self, tx: Transmission, rx: "CsmaMac") -> bool:
+        """Did ``rx`` successfully decode ``tx``?  SINR through FER."""
+        if rx.receiving_disabled:
+            return False
+        signal = self._rx_power(tx, rx.address)
+        if self.fast_fading:
+            # Rayleigh envelope: exponentially-distributed power with unit
+            # mean; deep fades (-10 dB and worse) hit ~10% of frames.
+            signal += float(10.0 * _np_log10(
+                max(self._fading_rng.exponential(1.0), 1e-6)))
+        interferer_powers = []
+        overlaps = []
+        for other in tx.interferers:
+            if other.sender is rx:
+                return False  # half-duplex: we were transmitting ourselves
+            factor = overlap_factor(rx.channel, other.channel)
+            if factor <= 0.0:
+                continue
+            interferer_powers.append(self._rx_power(other, rx.address))
+            overlaps.append(factor)
+        ratio = sinr_db(signal, interferer_powers, overlaps)
+        failure_probability = tx.rate.fer(ratio, tx.frame.wire_bytes)
+        ok = bool(self._rng.random() >= failure_probability)
+        if ok:
+            self.total_deliveries += 1
+        else:
+            self.total_decode_failures += 1
+            self.sim.trace("mac.loss", rx.address,
+                           f"decode failure #{tx.frame.frame_id} sinr={ratio:.1f}dB",
+                           sinr_db=ratio, fer=failure_probability)
+        return ok
+
+
+def _log10(x: float) -> float:
+    import math
+
+    return math.log10(x) if x > 0 else -20.0
+
+
+def _np_log10(x: float) -> float:
+    import math
+
+    return math.log10(x)
+
+
+class CsmaMac:
+    """CSMA/CA MAC instance for one station.
+
+    Args:
+        sim: the simulator.
+        medium: shared medium (the station is attached on construction).
+        address: station address; must match a world placement name.
+        channel: 2.4 GHz channel number.
+        tx_power_dbm: transmit power (15 dBm ≈ a 1999 PCMCIA card).
+        fixed_rate: pin the PHY rate; default is SINR-driven adaptation.
+        queue_limit: outgoing queue capacity in frames.
+        retry_limit: unicast retransmission budget.
+    """
+
+    CW_MIN = 32
+    CW_MAX = 1024
+
+    def __init__(self, sim: Simulator, medium: WirelessMedium, address: str,
+                 channel: int = 6, tx_power_dbm: float = 15.0,
+                 cs_threshold_dbm: float = -82.0,
+                 fixed_rate: Optional[RateMode] = None,
+                 queue_limit: int = 64, retry_limit: int = 7,
+                 fer_target: float = 0.1) -> None:
+        validate_channel(channel)
+        if queue_limit < 1 or retry_limit < 0:
+            raise ConfigurationError("bad queue_limit/retry_limit")
+        self.sim = sim
+        self.medium = medium
+        self.address = address
+        self.channel = channel
+        self.tx_power_dbm = float(tx_power_dbm)
+        self.cs_threshold_dbm = float(cs_threshold_dbm)
+        self.fixed_rate = fixed_rate
+        self.queue_limit = queue_limit
+        self.retry_limit = retry_limit
+        self.fer_target = fer_target
+        self.receiving_disabled = False
+        #: bridge/AP mode: overhear unicast frames destined elsewhere.
+        self.promiscuous = False
+        self.on_receive: Optional[Callable[[Frame], None]] = None
+
+        self._queue: deque = deque()
+        self._in_flight: Optional[Frame] = None
+        self._retries = 0
+        self._cw = self.CW_MIN
+        self._rng = sim.rng(f"mac.{address}")
+        self._attempt_pending = False
+
+        # Statistics
+        self.stats: Dict[str, float] = {
+            "enqueued": 0, "queue_drops": 0, "tx_attempts": 0,
+            "tx_success": 0, "tx_retry_drops": 0, "rx_frames": 0,
+            "busy_time": 0.0, "backoffs": 0,
+        }
+        medium.attach(self)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, frame: Frame) -> bool:
+        """Queue a frame; returns False (and counts a drop) when full."""
+        if len(self._queue) >= self.queue_limit:
+            self.stats["queue_drops"] += 1
+            self.sim.trace("mac.qdrop", self.address,
+                           f"queue full, dropping #{frame.frame_id}")
+            return False
+        self._queue.append(frame)
+        self.stats["enqueued"] += 1
+        self._kick()
+        return True
+
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def _kick(self) -> None:
+        if self._in_flight is None and self._queue and not self._attempt_pending:
+            self._attempt_pending = True
+            self.sim.schedule(DIFS_S, self._attempt, priority=Priority.PROTOCOL)
+
+    def _attempt(self) -> None:
+        self._attempt_pending = False
+        if self._in_flight is not None or not self._queue:
+            return
+        if self.medium.busy_for(self):
+            self._backoff()
+            return
+        frame = self._queue.popleft()
+        self._in_flight = frame
+        self.stats["tx_attempts"] += 1
+        rate = self.select_rate(frame)
+        tx = self.medium.transmit(self, frame, rate)
+        self.stats["busy_time"] += tx.end - tx.start
+
+    def _backoff(self) -> None:
+        self.stats["backoffs"] += 1
+        slots = int(self._rng.integers(0, self._cw))
+        self._cw = min(self._cw * 2, self.CW_MAX)
+        self._attempt_pending = True
+        self.sim.schedule(DIFS_S + slots * SLOT_S, self._attempt,
+                          priority=Priority.PROTOCOL)
+
+    def select_rate(self, frame: Frame) -> RateMode:
+        """PHY rate for this frame: pinned, or SINR-driven adaptation.
+
+        Broadcasts always use the base rate, as real DCF does, so every
+        station can decode discovery announcements.
+        """
+        from ..env.radio import RATES, best_rate
+
+        if self.fixed_rate is not None:
+            return self.fixed_rate
+        if frame.dst == BROADCAST or frame.dst not in self.medium._macs:
+            return RATES[0]
+        estimate = self.medium.expected_sinr_db(self, frame.dst)
+        return best_rate(estimate, frame.wire_bytes, self.fer_target)
+
+    # ------------------------------------------------------------------
+    # Outcome handling (genie-ACK)
+    # ------------------------------------------------------------------
+    def _tx_done(self, tx: Transmission, delivered: Optional[bool]) -> None:
+        frame = tx.frame
+        if delivered is None:  # broadcast: no ACK, no retry
+            self._complete(success=True)
+            return
+        # Sender learns the outcome one SIFS + ACK airtime later.
+        self.stats["busy_time"] += SIFS_S + ACK_S
+        self.sim.schedule(SIFS_S + ACK_S, self._ack_outcome, frame, delivered,
+                          priority=Priority.PROTOCOL)
+
+    def _ack_outcome(self, frame: Frame, delivered: bool) -> None:
+        if delivered:
+            self._complete(success=True)
+            return
+        if self._retries < self.retry_limit:
+            self._retries += 1
+            self._queue.appendleft(frame)
+            self._in_flight = None
+            self._backoff()
+            return
+        self.stats["tx_retry_drops"] += 1
+        self.sim.issue("radio", self.address,
+                       f"frame to {frame.dst} dropped after "
+                       f"{self.retry_limit} retries (collisions or poor link)",
+                       dst=frame.dst)
+        self._complete(success=False)
+
+    def _complete(self, success: bool) -> None:
+        if success and self._in_flight is not None:
+            self.stats["tx_success"] += 1
+        self._in_flight = None
+        self._retries = 0
+        self._cw = self.CW_MIN
+        self._kick()
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _deliver(self, frame: Frame, rate: RateMode) -> None:
+        self.stats["rx_frames"] += 1
+        self.sim.trace("mac.rx", self.address,
+                       f"rx #{frame.frame_id} from {frame.src} @{rate.name}")
+        if self.on_receive is not None:
+            self.on_receive(frame)
+
+    def set_channel(self, channel: int) -> None:
+        """Retune the radio (takes effect for future transmissions)."""
+        validate_channel(channel)
+        self.channel = channel
+
+    def scan_and_select(self, window_s: Optional[float] = None) -> int:
+        """Self-configuration: survey per-channel load and retune to the
+        least-congested channel.
+
+        "Users are not system administrators, so networking features
+        should be automatically available, self-configuring" — this is
+        the radio half of that requirement.  The survey uses the medium's
+        accumulated per-channel airtime (what a passive scan across the
+        band observes); ``window_s`` is accepted for interface
+        compatibility but the cumulative survey is already load-ordered.
+        Returns the selected channel.
+        """
+        from ..env.spectrum import least_congested
+
+        loads = dict(self.medium.channel_airtime)
+        choice = least_congested(loads)
+        if choice != self.channel:
+            self.sim.trace("mac.retune", self.address,
+                           f"self-configured from channel {self.channel} "
+                           f"to {choice}")
+            self.set_channel(choice)
+        return choice

@@ -1,0 +1,94 @@
+"""Battery and energy accounting for portable devices.
+
+The paper's vision ("systems on a chip will cost approximately $10 and
+include a pico-cellular wireless transceiver") implies battery-operated
+information appliances; energy is a physical-layer resource that the
+environment and workload drain.  The model is a simple coulomb counter
+with per-state power draws typical of a 1999 PCMCIA WLAN card.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..kernel.errors import ConfigurationError
+from ..kernel.scheduler import Simulator
+
+#: Typical power draw in watts by radio state (1999-era 802.11b card).
+DEFAULT_DRAW_W: Dict[str, float] = {
+    "idle": 0.75,
+    "rx": 0.9,
+    "tx": 1.4,
+    "sleep": 0.05,
+}
+
+
+class Battery:
+    """An energy store drained by device activity.
+
+    Args:
+        sim: simulator (for timestamps in the trace).
+        capacity_j: total energy in joules (a 1999 laptop pack ≈ 150 kJ;
+            a PDA cell ≈ 5 kJ).
+        name: used in traces.
+    """
+
+    def __init__(self, sim: Simulator, capacity_j: float, name: str = "battery") -> None:
+        if capacity_j <= 0:
+            raise ConfigurationError("battery capacity must be positive")
+        self.sim = sim
+        self.capacity_j = float(capacity_j)
+        self.remaining_j = float(capacity_j)
+        self.name = name
+        self.drained_events = 0
+
+    @property
+    def fraction(self) -> float:
+        """Remaining charge as a fraction of capacity."""
+        return self.remaining_j / self.capacity_j
+
+    @property
+    def empty(self) -> bool:
+        return self.remaining_j <= 0.0
+
+    def draw(self, watts: float, seconds: float) -> float:
+        """Drain ``watts`` for ``seconds``; returns the energy consumed.
+
+        Draining past empty clamps at zero and emits a physical-layer issue
+        the LPC analysis can pick up.
+        """
+        if watts < 0 or seconds < 0:
+            raise ConfigurationError("draw arguments must be non-negative")
+        energy = watts * seconds
+        before = self.remaining_j
+        self.remaining_j = max(0.0, self.remaining_j - energy)
+        if before > 0.0 and self.remaining_j == 0.0:
+            self.drained_events += 1
+            self.sim.issue("power", self.name, "battery drained")
+        return min(energy, before)
+
+
+class EnergyMeter:
+    """Accumulates radio energy use per state for one NIC."""
+
+    def __init__(self, sim: Simulator, battery: Optional[Battery] = None,
+                 draw_w: Optional[Dict[str, float]] = None) -> None:
+        self.sim = sim
+        self.battery = battery
+        self.draw_w = dict(DEFAULT_DRAW_W)
+        if draw_w:
+            self.draw_w.update(draw_w)
+        self.energy_j: Dict[str, float] = {state: 0.0 for state in self.draw_w}
+
+    def account(self, state: str, seconds: float) -> None:
+        """Record ``seconds`` spent in ``state``; drains the battery if any."""
+        if state not in self.draw_w:
+            raise ConfigurationError(f"unknown radio state {state!r}")
+        energy = self.draw_w[state] * seconds
+        self.energy_j[state] += energy
+        if self.battery is not None:
+            self.battery.draw(self.draw_w[state], seconds)
+
+    @property
+    def total_j(self) -> float:
+        return float(sum(self.energy_j.values()))

@@ -1,0 +1,60 @@
+"""The resource layer: "What can we count on being available?"
+
+Device side: the five boxes of Figure 3 (Mem, Sto, Exe, UI, Net) as
+descriptors plus runnable execution/storage models.  User side: faculties.
+The layer's defining relation — faculties *must not be frustrated by* the
+platform — is the :func:`repro.resource.matching.match` engine.
+"""
+
+from .execution import ExecutionEngine, Task
+from .faculties import (
+    TRAINABLE,
+    FacultyProfile,
+    casual_user,
+    international_visitor,
+    researcher,
+    train,
+)
+from .matching import Frustration, FrustrationReport, match, population_usability
+from .platform import (
+    ExecutionSpec,
+    MemorySpec,
+    NetSpec,
+    PlatformProfile,
+    StorageSpec,
+    UISpec,
+    adapter_platform,
+    laptop_platform,
+    pda_platform,
+    soc_platform,
+)
+from .storage import OrganizationDenied, StorageFull, StorageVolume, StoredObject
+
+__all__ = [
+    "ExecutionEngine",
+    "ExecutionSpec",
+    "FacultyProfile",
+    "Frustration",
+    "FrustrationReport",
+    "MemorySpec",
+    "NetSpec",
+    "OrganizationDenied",
+    "PlatformProfile",
+    "StorageFull",
+    "StorageSpec",
+    "StorageVolume",
+    "StoredObject",
+    "TRAINABLE",
+    "Task",
+    "UISpec",
+    "adapter_platform",
+    "casual_user",
+    "international_visitor",
+    "laptop_platform",
+    "match",
+    "pda_platform",
+    "population_usability",
+    "researcher",
+    "soc_platform",
+    "train",
+]

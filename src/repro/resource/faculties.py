@@ -1,0 +1,116 @@
+"""User faculties: the user side of the resource layer.
+
+"The term 'faculty' here means a developed skill or ability such as a
+user's ability to speak a particular language, the user's education or
+even the user's temperament (for example, the ability to tolerate
+frustration)."  Faculties sit above physiology and below mental models in
+the paper's temporal-specificity ordering: they change slowly, but
+"through training and practice can be acquired in a reasonable amount of
+time" — hence :func:`train`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from ..kernel.errors import ConfigurationError
+
+
+def _unit(value: float, name: str) -> float:
+    if not (0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class FacultyProfile:
+    """Developed skills and temperament of one user."""
+
+    name: str
+    #: languages the user reads/speaks.
+    languages: Tuple[str, ...] = ("en",)
+    #: fluency with graphical interfaces and their metaphors, [0, 1].
+    gui_literacy: float = 0.7
+    #: ability to diagnose and fix technical problems (networks, OS), [0, 1].
+    #: The paper's lab users "are capable of fixing whatever problems may
+    #: arise with the wireless network, the Linux-based adapter, and the
+    #: lookup service" — that is technical_skill ≈ 0.9.
+    technical_skill: float = 0.3
+    #: familiarity with the device domain (projectors, AV gear), [0, 1].
+    domain_knowledge: float = 0.5
+    #: temperament: tolerance for frustration before abandoning, [0, 1].
+    frustration_tolerance: float = 0.5
+    #: general capacity to absorb new concepts quickly, [0, 1].
+    learning_rate: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.languages:
+            raise ConfigurationError("user must have at least one language")
+        _unit(self.gui_literacy, "gui_literacy")
+        _unit(self.technical_skill, "technical_skill")
+        _unit(self.domain_knowledge, "domain_knowledge")
+        _unit(self.frustration_tolerance, "frustration_tolerance")
+        _unit(self.learning_rate, "learning_rate")
+
+    def speaks_any(self, languages: Tuple[str, ...]) -> bool:
+        return bool(set(self.languages) & set(languages))
+
+    @property
+    def can_administer_systems(self) -> bool:
+        """Can this user play system administrator when things break?"""
+        return self.technical_skill >= 0.7
+
+
+#: Skills :func:`train` can improve.
+TRAINABLE = ("gui_literacy", "technical_skill", "domain_knowledge")
+
+
+def train(profile: FacultyProfile, skill: str, sessions: int = 1) -> FacultyProfile:
+    """Improve a trainable ``skill`` through practice.
+
+    Each session closes a fraction of the remaining gap to 1.0 proportional
+    to the user's ``learning_rate`` — fast learners converge quickly,
+    everyone converges eventually, matching the paper's claim that
+    faculties "can be acquired in a reasonable amount of time".
+    """
+    if skill not in TRAINABLE:
+        raise ConfigurationError(
+            f"{skill!r} is not trainable (choose from {TRAINABLE})")
+    if sessions < 0:
+        raise ConfigurationError("sessions must be non-negative")
+    value = getattr(profile, skill)
+    for _ in range(sessions):
+        value = value + (1.0 - value) * 0.25 * max(profile.learning_rate, 0.05)
+    return replace(profile, **{skill: min(value, 1.0)})
+
+
+# ---------------------------------------------------------------------------
+# Presets: the two populations in the paper's intentional-layer analysis
+# ---------------------------------------------------------------------------
+
+def researcher(name: str = "researcher") -> FacultyProfile:
+    """A computer scientist in the Aroma laboratory — the Smart
+    Projector's *intended* user."""
+    return FacultyProfile(
+        name=name, languages=("en",), gui_literacy=0.95,
+        technical_skill=0.9, domain_knowledge=0.8,
+        frustration_tolerance=0.8, learning_rate=0.9)
+
+
+def casual_user(name: str = "casual") -> FacultyProfile:
+    """A user "expecting a commercial-grade product" — the population the
+    paper says the prototype is *not* in harmony with."""
+    return FacultyProfile(
+        name=name, languages=("en",), gui_literacy=0.6,
+        technical_skill=0.15, domain_knowledge=0.4,
+        frustration_tolerance=0.35, learning_rate=0.5)
+
+
+def international_visitor(name: str = "visitor") -> FacultyProfile:
+    """A non-anglophone visitor — triggers the internationalisation issue
+    the paper lists among its unreasonable assumptions."""
+    return FacultyProfile(
+        name=name, languages=("fr",), gui_literacy=0.7,
+        technical_skill=0.3, domain_knowledge=0.5,
+        frustration_tolerance=0.5, learning_rate=0.6)

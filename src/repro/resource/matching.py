@@ -1,0 +1,136 @@
+"""The resource layer's defining relation: user faculties *must not be
+frustrated by* the device's logical resources.
+
+The paper's resource-layer discussion enumerates the specific ways a
+platform frustrates a user: wrong language, arcane interfaces, networking
+that assumes an administrator, inflexible storage, and an execution engine
+that cannot be aborted.  :func:`match` checks each of them and returns a
+structured :class:`FrustrationReport` consumed by the LPC constraint
+engine and by experiment E6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..kernel.errors import ConfigurationError
+from .faculties import FacultyProfile
+from .platform import PlatformProfile
+
+
+@dataclass(frozen=True)
+class Frustration:
+    """One way the platform frustrates the user."""
+
+    aspect: str          #: "language", "ui", "admin", "storage", "execution"
+    description: str
+    #: severity in (0, 1]; 1.0 makes the device unusable for this user.
+    severity: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.severity <= 1.0):
+            raise ConfigurationError("severity must be in (0, 1]")
+
+
+@dataclass
+class FrustrationReport:
+    """Outcome of matching one platform against one user's faculties."""
+
+    platform: str
+    user: str
+    frustrations: List[Frustration] = field(default_factory=list)
+
+    @property
+    def score(self) -> float:
+        """Usability in [0, 1]: 1.0 = nothing frustrates this user."""
+        score = 1.0
+        for item in self.frustrations:
+            score *= 1.0 - item.severity
+        return score
+
+    @property
+    def usable(self) -> bool:
+        """No blocking frustration (severity >= 0.9)."""
+        return all(f.severity < 0.9 for f in self.frustrations)
+
+    def worst(self) -> Optional[Frustration]:
+        if not self.frustrations:
+            return None
+        return max(self.frustrations, key=lambda f: f.severity)
+
+
+def match(platform: PlatformProfile, user: FacultyProfile) -> FrustrationReport:
+    """Check every resource box against the user's faculties."""
+    report = FrustrationReport(platform.name, user.name)
+    frs = report.frustrations
+
+    # Language: "Being able to expect that all users will speak the same
+    # language is fundamentally a resource that the developer can count on."
+    if not user.speaks_any(platform.ui.languages):
+        frs.append(Frustration(
+            "language",
+            f"UI speaks {platform.ui.languages} but user speaks "
+            f"{user.languages}",
+            0.95))
+
+    # UI style vs literacy.
+    if platform.ui.kind == "gui" and user.gui_literacy < 0.3:
+        frs.append(Frustration(
+            "ui", "graphical interface exceeds the user's GUI literacy", 0.7))
+    if platform.ui.kind == "text" and user.technical_skill < 0.5:
+        frs.append(Frustration(
+            "ui", "command/text interface assumes technical skill", 0.8))
+    if not platform.ui.consistent_metaphors:
+        # Inconsistent metaphors frustrate in proportion to how little
+        # patience the user has for surprises.
+        severity = 0.25 + 0.5 * (1.0 - user.frustration_tolerance)
+        frs.append(Frustration(
+            "ui", "inconsistent interaction metaphors cause surprises",
+            min(severity, 1.0)))
+    if platform.ui.intuitiveness < 0.5:
+        gap = 0.5 - platform.ui.intuitiveness
+        severity = min(1.0, (0.3 + gap) * (1.0 - 0.5 * user.domain_knowledge))
+        frs.append(Frustration(
+            "ui", f"low intuitiveness ({platform.ui.intuitiveness:.2f}) "
+            "demands prior knowledge", severity))
+
+    # Networking: "Users are not system administrators, so networking
+    # features should be automatically available, self-configuring."
+    if platform.net.requires_admin and not user.can_administer_systems:
+        frs.append(Frustration(
+            "admin",
+            "network needs administration the user cannot provide", 0.9))
+    if not platform.net.auto_configuring and user.technical_skill < 0.5:
+        frs.append(Frustration(
+            "admin", "manual network configuration exceeds user skill", 0.6))
+
+    # Storage: "allowing users to flexibly organize information in a manner
+    # that suits their purposes."
+    if not platform.storage.flexible_organization:
+        frs.append(Frustration(
+            "storage", "storage does not let the user organise information",
+            0.35))
+
+    # Execution: abortability and responsiveness-as-control.
+    if not platform.execution.abortable:
+        severity = 0.3 + 0.5 * (1.0 - user.frustration_tolerance)
+        frs.append(Frustration(
+            "execution",
+            "tasks cannot be aborted; needless frustration accumulates",
+            min(severity, 1.0)))
+    if not platform.execution.multitasking:
+        frs.append(Frustration(
+            "execution", "single-tasking blocks the user's immediate tasks",
+            0.3))
+
+    return report
+
+
+def population_usability(platform: PlatformProfile,
+                         users: List[FacultyProfile]) -> float:
+    """Fraction of a user population for whom the platform is usable."""
+    if not users:
+        raise ConfigurationError("population must be non-empty")
+    usable = sum(1 for u in users if match(platform, u).usable)
+    return usable / len(users)

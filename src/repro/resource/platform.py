@@ -1,0 +1,193 @@
+"""Platform descriptors: the device side of the resource layer.
+
+Figure 3 of the paper draws the device's resource layer as five boxes —
+**Mem, Sto, Exe, UI, Net** — "the available computational resources ...
+that developers can count on being present".  This module gives each box a
+descriptor and bundles them into a :class:`PlatformProfile`; presets match
+the hardware in the paper's laboratory (the laptop, the embedded-PC Aroma
+Adapter, a contemporary PDA, and the ~$10 SOC the paper predicts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from ..kernel.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Volatile memory (the "Mem" box)."""
+
+    ram_mb: float
+
+    def __post_init__(self) -> None:
+        if self.ram_mb <= 0:
+            raise ConfigurationError("ram_mb must be positive")
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Non-volatile storage (the "Sto" box).
+
+    The paper stresses that storage is "not just an issue of capacity and
+    speed, but of allowing users to flexibly organize information".
+    """
+
+    capacity_mb: float
+    #: can the user create their own organisation (folders, categories)?
+    flexible_organization: bool = True
+    #: sustained throughput, MB/s.
+    throughput_mbps: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_mb <= 0 or self.throughput_mbps <= 0:
+            raise ConfigurationError("capacity and throughput must be positive")
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """Execution engine and its interactivity properties (the "Exe" box)."""
+
+    mips: float
+    #: can multiple tasks make progress concurrently?
+    multitasking: bool = True
+    #: can the user abort a running task?  The paper: "a single-threaded
+    #: system that does not allow a user to abort a task causes needless
+    #: frustration".
+    abortable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mips <= 0:
+            raise ConfigurationError("mips must be positive")
+
+
+@dataclass(frozen=True)
+class UISpec:
+    """User interface capability (the "UI" box)."""
+
+    #: interaction style: "gui", "text", "buttons", or "voice".
+    kind: str = "gui"
+    #: languages the UI can present.
+    languages: Tuple[str, ...] = ("en",)
+    #: does the UI follow common metaphors/toolkits ("eliminating
+    #: unnecessary surprises")?
+    consistent_metaphors: bool = True
+    #: how self-explanatory the interface is, in [0, 1].
+    intuitiveness: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gui", "text", "buttons", "voice"):
+            raise ConfigurationError(f"unknown UI kind {self.kind!r}")
+        if not self.languages:
+            raise ConfigurationError("UI must support at least one language")
+        if not (0.0 <= self.intuitiveness <= 1.0):
+            raise ConfigurationError("intuitiveness must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class NetSpec:
+    """Networking capability (the "Net" box).
+
+    The paper: "networking features should be automatically available,
+    self-configuring and compatible with existing technologies".
+    """
+
+    technologies: Tuple[str, ...] = ("802.11b",)
+    auto_configuring: bool = False
+    #: does keeping it running require system-administration skill?
+    requires_admin: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.technologies:
+            raise ConfigurationError("need at least one network technology")
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """The complete resource layer of one device."""
+
+    name: str
+    memory: MemorySpec
+    storage: StorageSpec
+    execution: ExecutionSpec
+    ui: UISpec
+    net: NetSpec
+
+    def shares_technology(self, other: "PlatformProfile") -> bool:
+        """Can the two platforms interoperate at all?"""
+        return bool(set(self.net.technologies) & set(other.net.technologies))
+
+    def with_ui(self, **changes) -> "PlatformProfile":
+        """Copy with UI fields replaced (used by i18n ablations)."""
+        return replace(self, ui=replace(self.ui, **changes))
+
+    def with_net(self, **changes) -> "PlatformProfile":
+        return replace(self, net=replace(self.net, **changes))
+
+
+# ---------------------------------------------------------------------------
+# Presets matching the paper's hardware
+# ---------------------------------------------------------------------------
+
+def laptop_platform(name: str = "laptop") -> PlatformProfile:
+    """A 1999/2000 presentation laptop (the presenter's machine)."""
+    return PlatformProfile(
+        name=name,
+        memory=MemorySpec(ram_mb=128),
+        storage=StorageSpec(capacity_mb=6000, flexible_organization=True,
+                            throughput_mbps=10),
+        execution=ExecutionSpec(mips=400, multitasking=True, abortable=True),
+        ui=UISpec(kind="gui", languages=("en",), consistent_metaphors=True,
+                  intuitiveness=0.75),
+        net=NetSpec(technologies=("802.11b", "ethernet"),
+                    auto_configuring=False, requires_admin=True),
+    )
+
+
+def adapter_platform(name: str = "aroma-adapter") -> PlatformProfile:
+    """The Aroma Adapter: embedded PC, Linux, JVM/Jini, PCMCIA WLAN."""
+    return PlatformProfile(
+        name=name,
+        memory=MemorySpec(ram_mb=64),
+        storage=StorageSpec(capacity_mb=500, flexible_organization=False,
+                            throughput_mbps=3),
+        execution=ExecutionSpec(mips=200, multitasking=True, abortable=True),
+        ui=UISpec(kind="text", languages=("en",), consistent_metaphors=False,
+                  intuitiveness=0.3),
+        net=NetSpec(technologies=("802.11b",), auto_configuring=False,
+                    requires_admin=True),
+    )
+
+
+def pda_platform(name: str = "pda") -> PlatformProfile:
+    """A contemporary PDA: single-tasking, buttons+stylus, flat storage."""
+    return PlatformProfile(
+        name=name,
+        memory=MemorySpec(ram_mb=8),
+        storage=StorageSpec(capacity_mb=16, flexible_organization=False,
+                            throughput_mbps=0.5),
+        execution=ExecutionSpec(mips=30, multitasking=False, abortable=False),
+        ui=UISpec(kind="buttons", languages=("en",), consistent_metaphors=True,
+                  intuitiveness=0.6),
+        net=NetSpec(technologies=("802.11b",), auto_configuring=False,
+                    requires_admin=True),
+    )
+
+
+def soc_platform(name: str = "soc") -> PlatformProfile:
+    """The paper's predicted $10 system-on-chip with pico-cellular radio
+    and "a sufficiently rich run-time environment capable of running
+    sophisticated virtual machines" — the commercial-grade target."""
+    return PlatformProfile(
+        name=name,
+        memory=MemorySpec(ram_mb=32),
+        storage=StorageSpec(capacity_mb=64, flexible_organization=True,
+                            throughput_mbps=2),
+        execution=ExecutionSpec(mips=100, multitasking=True, abortable=True),
+        ui=UISpec(kind="gui", languages=("en", "fr", "es", "de", "ja"),
+                  consistent_metaphors=True, intuitiveness=0.9),
+        net=NetSpec(technologies=("802.11b", "picocell"),
+                    auto_configuring=True, requires_admin=False),
+    )

@@ -1,0 +1,129 @@
+"""Non-volatile storage model (the "Sto" box, running).
+
+"The device's mass storage must support the user's need to access and
+retrieve information ... not just an issue of capacity and speed, but of
+allowing users to flexibly organize information."  The model is a small
+hierarchical (or deliberately flat) object store with capacity accounting
+and timed reads/writes, so the organisational restriction and the speed
+both show up in experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..kernel.errors import ConfigurationError, ReproError
+from ..kernel.events import Priority
+from ..kernel.scheduler import Simulator
+from .platform import StorageSpec
+
+
+class StorageFull(ReproError):
+    """Write rejected: volume out of space."""
+
+
+class OrganizationDenied(ReproError):
+    """The volume does not allow user-defined organisation (flat store)."""
+
+
+@dataclass
+class StoredObject:
+    path: str
+    size_mb: float
+    created_at: float
+    modified_at: float
+
+
+class StorageVolume:
+    """One device's non-volatile store.
+
+    Paths are ``/``-separated.  On a volume without
+    ``flexible_organization`` only root-level names are allowed — writing
+    ``notes/march/agenda`` raises :class:`OrganizationDenied` and records
+    a resource-layer issue, which is how the PDA preset's storage
+    frustration becomes observable behaviour.
+    """
+
+    def __init__(self, sim: Simulator, spec: StorageSpec,
+                 name: str = "storage") -> None:
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self._objects: Dict[str, StoredObject] = {}
+        self.reads = 0
+        self.writes = 0
+        self.denied_writes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def used_mb(self) -> float:
+        return sum(o.size_mb for o in self._objects.values())
+
+    @property
+    def free_mb(self) -> float:
+        return self.spec.capacity_mb - self.used_mb
+
+    def _validate_path(self, path: str) -> str:
+        if not path or path.startswith("/") or path.endswith("/"):
+            raise ConfigurationError(f"bad path {path!r}")
+        if "/" in path and not self.spec.flexible_organization:
+            self.denied_writes += 1
+            self.sim.issue("storage", self.name,
+                           f"flat store refused hierarchical path {path!r}")
+            raise OrganizationDenied(
+                f"volume {self.name!r} does not support folders")
+        return path
+
+    # ------------------------------------------------------------------
+    def write(self, path: str, size_mb: float,
+              on_done: Optional[Callable[[], None]] = None) -> StoredObject:
+        """Store/overwrite an object; completion after the transfer time."""
+        path = self._validate_path(path)
+        if size_mb < 0:
+            raise ConfigurationError("size must be non-negative")
+        existing = self._objects.get(path)
+        delta = size_mb - (existing.size_mb if existing else 0.0)
+        if delta > self.free_mb:
+            self.sim.issue("storage", self.name,
+                           f"out of space writing {path!r} ({size_mb}MB)")
+            raise StorageFull(f"{self.name}: need {delta:.1f}MB, "
+                              f"free {self.free_mb:.1f}MB")
+        now = self.sim.now
+        obj = StoredObject(path, size_mb,
+                           existing.created_at if existing else now, now)
+        self._objects[path] = obj
+        self.writes += 1
+        if on_done is not None:
+            self.sim.schedule(self.transfer_time(size_mb), on_done,
+                              priority=Priority.APP)
+        return obj
+
+    def read(self, path: str,
+             on_done: Optional[Callable[[StoredObject], None]] = None) -> StoredObject:
+        obj = self._objects.get(path)
+        if obj is None:
+            raise ConfigurationError(f"no object at {path!r}")
+        self.reads += 1
+        if on_done is not None:
+            self.sim.schedule(self.transfer_time(obj.size_mb), on_done, obj,
+                              priority=Priority.APP)
+        return obj
+
+    def delete(self, path: str) -> None:
+        if path not in self._objects:
+            raise ConfigurationError(f"no object at {path!r}")
+        del self._objects[path]
+
+    def listing(self, prefix: str = "") -> List[str]:
+        return sorted(p for p in self._objects if p.startswith(prefix))
+
+    def transfer_time(self, size_mb: float) -> float:
+        """Seconds to move ``size_mb`` at the volume's throughput."""
+        return size_mb / self.spec.throughput_mbps
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)

@@ -1,0 +1,62 @@
+"""The abstract layer, device side: the pervasive application software.
+
+Sessions, the RPC service framework, the VNC-like remote framebuffer, the
+Smart Projector host and client, content workloads, and the automated
+diagnostics the paper lists as required future work.
+"""
+
+from .auth import AuthResult, VoiceprintAuthenticator
+from .base import RpcCall, RpcClient, RpcResult, RpcService
+from .content import (
+    Animation,
+    ContentGenerator,
+    MixedContent,
+    SlideShow,
+    TypingContent,
+)
+from .errorsvc import DiagnosticsAgent, Fault, FaultInjector, human_repair_model
+from .framebuffer import BYTES_PER_PIXEL, Framebuffer, TileUpdate
+from .projector import (
+    CONTROL_PORT,
+    CONTROL_TYPE,
+    PROJECTION_PORT,
+    PROJECTION_TYPE,
+    SmartProjector,
+    SmartProjectorClient,
+)
+from .sessions import Session, SessionManager
+from .vnc import VNC_PORT, UpdateReply, UpdateRequest, VNCServer, VNCViewer
+
+__all__ = [
+    "Animation",
+    "AuthResult",
+    "VoiceprintAuthenticator",
+    "BYTES_PER_PIXEL",
+    "CONTROL_PORT",
+    "CONTROL_TYPE",
+    "ContentGenerator",
+    "DiagnosticsAgent",
+    "Fault",
+    "FaultInjector",
+    "Framebuffer",
+    "MixedContent",
+    "PROJECTION_PORT",
+    "PROJECTION_TYPE",
+    "RpcCall",
+    "RpcClient",
+    "RpcResult",
+    "RpcService",
+    "Session",
+    "SessionManager",
+    "SlideShow",
+    "SmartProjector",
+    "SmartProjectorClient",
+    "TileUpdate",
+    "TypingContent",
+    "UpdateReply",
+    "UpdateRequest",
+    "VNC_PORT",
+    "VNCServer",
+    "VNCViewer",
+    "human_repair_model",
+]

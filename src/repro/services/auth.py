@@ -1,0 +1,145 @@
+"""Voice biometric authentication.
+
+"Many pervasive computing applications involve speech recognition and
+user biometric identification for security purposes — the flow of control
+in such an application depends on the signal received from the user's
+body."  This module makes that flow concrete: a speaker-verification
+model whose *false-reject* rate degrades with acoustic SNR (the genuine
+user's voiceprint drowns in noise) while its *false-accept* rate is set
+by the decision threshold and stays flat — the classic biometric
+asymmetry, and another way the environment layer reaches up through the
+physical layer into application control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..kernel.errors import ConfigurationError, ServiceError
+from ..kernel.scheduler import Simulator
+from ..phys.human import PhysicalProfile, SpeechSignal
+
+
+@dataclass(frozen=True)
+class AuthResult:
+    """Outcome of one verification attempt."""
+
+    claimed: str
+    accepted: bool
+    genuine: bool      #: ground truth: was the speaker who they claimed?
+    score: float
+
+    @property
+    def false_reject(self) -> bool:
+        return self.genuine and not self.accepted
+
+    @property
+    def false_accept(self) -> bool:
+        return (not self.genuine) and self.accepted
+
+
+class VoiceprintAuthenticator:
+    """Speaker verification with environment-dependent error rates.
+
+    Args:
+        sim: simulator (randomness + issue reporting).
+        far_target: design false-accept rate; sets the decision threshold.
+        snr50_db: SNR at which a *genuine* match scores 0.5 — verification
+            is deliberately stricter than recognition (default 15 vs the
+            ASR's 12).
+    """
+
+    def __init__(self, sim: Simulator, far_target: float = 0.01,
+                 snr50_db: float = 15.0, slope_db: float = 3.0,
+                 name: str = "voiceauth") -> None:
+        if not (0.0 < far_target < 0.5):
+            raise ConfigurationError("far_target must be in (0, 0.5)")
+        if slope_db <= 0:
+            raise ConfigurationError("slope must be positive")
+        self.sim = sim
+        self.far_target = far_target
+        self.snr50_db = snr50_db
+        self.slope_db = slope_db
+        self.name = name
+        self._rng = sim.rng(f"auth.{name}")
+        self._enrolled: Dict[str, str] = {}
+        self.attempts = 0
+        self.genuine_attempts = 0
+        self.impostor_attempts = 0
+        self.false_rejects = 0
+        self.false_accepts = 0
+
+    # ------------------------------------------------------------------
+    def enroll(self, profile: PhysicalProfile) -> str:
+        """Register a user's voiceprint; returns the stored signature."""
+        signature = profile.biometric_signature()
+        self._enrolled[profile.name] = signature
+        return signature
+
+    def enrolled(self, name: str) -> bool:
+        return name in self._enrolled
+
+    # ------------------------------------------------------------------
+    def genuine_accept_probability(self, snr_db: float,
+                                   clarity: float = 1.0) -> float:
+        """Probability a genuine speaker is accepted at this SNR."""
+        sigma = 1.0 / (1.0 + np.exp(-(snr_db - self.snr50_db) / self.slope_db))
+        return float(np.clip(clarity * sigma, 0.0, 1.0))
+
+    def verify(self, signal: SpeechSignal, claimed: str,
+               snr_db: float,
+               speaker_profile: Optional[PhysicalProfile] = None) -> AuthResult:
+        """Verify that ``signal`` belongs to the enrolled user ``claimed``.
+
+        ``speaker_profile`` supplies ground truth for the genuine flag
+        (defaults to matching by speaker name on the signal).
+        """
+        if claimed not in self._enrolled:
+            raise ServiceError(f"{claimed!r} is not enrolled")
+        self.attempts += 1
+        if speaker_profile is not None:
+            genuine = (speaker_profile.biometric_signature()
+                       == self._enrolled[claimed])
+        else:
+            genuine = signal.speaker == claimed
+        if genuine:
+            self.genuine_attempts += 1
+            p_accept = self.genuine_accept_probability(snr_db, signal.clarity)
+        else:
+            self.impostor_attempts += 1
+            # Threshold calibrated to the design FAR; impostor scores do
+            # not improve in quiet rooms.
+            p_accept = self.far_target
+        score = float(self._rng.random())
+        accepted = score < p_accept
+        result = AuthResult(claimed, accepted, genuine, p_accept)
+        if result.false_reject:
+            self.false_rejects += 1
+            self.sim.issue("noise", self.name,
+                           f"genuine user {claimed!r} rejected by voice "
+                           f"verification at {snr_db:.0f} dB SNR",
+                           snr_db=snr_db)
+        if result.false_accept:
+            self.false_accepts += 1
+            self.sim.issue("session", self.name,
+                           f"impostor accepted as {claimed!r} by voice "
+                           "verification")
+        return result
+
+    # ------------------------------------------------------------------
+    @property
+    def measured_frr(self) -> float:
+        """False-reject rate over genuine attempts so far."""
+        if self.genuine_attempts == 0:
+            return 0.0
+        return self.false_rejects / self.genuine_attempts
+
+    @property
+    def measured_far(self) -> float:
+        """False-accept rate over impostor attempts so far."""
+        if self.impostor_attempts == 0:
+            return 0.0
+        return self.false_accepts / self.impostor_attempts

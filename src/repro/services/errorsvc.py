@@ -1,0 +1,167 @@
+"""Automated diagnostics, fault injection and recovery.
+
+The paper's resource-layer verdict: lab users "are capable of fixing
+whatever problems may arise with the wireless network, the Linux-based
+adapter, and the lookup service", but those expectations "are unreasonable
+if the Smart Projector is used outside our laboratory"; moving on requires
+"automated diagnostics, fault tolerance and recovery".  This module builds
+both halves:
+
+* :class:`FaultInjector` — breaks things the way the lab's infrastructure
+  broke (adapter hang, registry outage, radio blackout);
+* :class:`DiagnosticsAgent` — the commercial-grade remedy: watches for
+  those failures and repairs them without a human, so experiment E6 can
+  compare casual users with and without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..kernel.errors import ConfigurationError
+from ..kernel.scheduler import Simulator
+
+
+@dataclass
+class Fault:
+    """One injected failure."""
+
+    kind: str            #: "adapter", "registry", "radio"
+    injected_at: float
+    repaired_at: Optional[float] = None
+    repaired_by: str = ""  #: "diagnostics" or "human"
+
+    @property
+    def outage(self) -> Optional[float]:
+        if self.repaired_at is None:
+            return None
+        return self.repaired_at - self.injected_at
+
+
+class FaultInjector:
+    """Breaks subsystems on demand or on a schedule.
+
+    The injectable surface is deliberately physical:
+
+    * ``adapter`` — the embedded PC wedges: its NIC stops receiving.
+    * ``registry`` — the lookup service stops answering (endpoint closed).
+    * ``radio`` — a device's radio is jammed/disassociated.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.faults: List[Fault] = []
+        self._undo: Dict[int, Callable[[], None]] = {}
+
+    # ------------------------------------------------------------------
+    def wedge_adapter(self, adapter) -> Fault:
+        """Hang the adapter: its MAC discards everything it hears."""
+        mac = adapter.nic.mac
+        if mac.receiving_disabled:
+            raise ConfigurationError("adapter already wedged")
+        mac.receiving_disabled = True
+        self.sim.issue("fault", adapter.name, "adapter wedged (hung kernel)")
+        return self._record("adapter", lambda: setattr(
+            mac, "receiving_disabled", False))
+
+    def kill_registry(self, registry) -> Fault:
+        """Stop the lookup service answering requests."""
+        endpoint = registry.endpoint
+        original = endpoint.on_message
+        if original is None:
+            raise ConfigurationError("registry already dead")
+        endpoint.on_message = None
+        self.sim.issue("fault", registry.registry_id, "lookup service down")
+        return self._record("registry", lambda: setattr(
+            endpoint, "on_message", original))
+
+    def jam_radio(self, device) -> Fault:
+        """Disable one device's radio reception."""
+        mac = device.nic.mac
+        mac.receiving_disabled = True
+        self.sim.issue("fault", device.name, "radio jammed/disassociated")
+        return self._record("radio", lambda: setattr(
+            mac, "receiving_disabled", False))
+
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, undo: Callable[[], None]) -> Fault:
+        fault = Fault(kind, self.sim.now)
+        self.faults.append(fault)
+        self._undo[id(fault)] = undo
+        return fault
+
+    def repair(self, fault: Fault, by: str) -> None:
+        undo = self._undo.pop(id(fault), None)
+        if undo is None:
+            return  # already repaired
+        undo()
+        fault.repaired_at = self.sim.now
+        fault.repaired_by = by
+        self.sim.trace("fault.repair", by, f"{fault.kind} fault repaired")
+
+    def outstanding(self) -> List[Fault]:
+        return [f for f in self.faults if f.repaired_at is None]
+
+
+class DiagnosticsAgent:
+    """Automated watch-and-repair: the future-work feature, implemented.
+
+    Polls registered health probes; when a probe reports an outstanding
+    fault, repairs it after ``repair_time`` (reboot/restart cost).  With
+    the agent disabled, faults wait for a human with enough
+    ``technical_skill`` — or forever.
+    """
+
+    def __init__(self, sim: Simulator, injector: FaultInjector,
+                 check_interval: float = 2.0, repair_time: float = 5.0,
+                 enabled: bool = True) -> None:
+        if check_interval <= 0 or repair_time < 0:
+            raise ConfigurationError("bad diagnostics timing")
+        self.sim = sim
+        self.injector = injector
+        self.check_interval = check_interval
+        self.repair_time = repair_time
+        self.enabled = enabled
+        self.repairs = 0
+        self._repairing: set = set()
+        self._task = sim.every(check_interval, self._check)
+
+    def _check(self) -> None:
+        if not self.enabled:
+            return
+        for fault in self.injector.outstanding():
+            if id(fault) in self._repairing:
+                continue
+            self._repairing.add(id(fault))
+            self.sim.trace("diagnostics", "agent",
+                           f"detected {fault.kind} fault; repairing")
+            self.sim.schedule(self.repair_time, self._repair, fault)
+
+    def _repair(self, fault: Fault) -> None:
+        self._repairing.discard(id(fault))
+        if fault.repaired_at is None:
+            self.injector.repair(fault, "diagnostics")
+            self.repairs += 1
+
+    def stop(self) -> None:
+        self._task.cancel()
+
+
+def human_repair_model(fault: Fault, injector: FaultInjector,
+                       sim: Simulator, technical_skill: float,
+                       base_time: float = 60.0) -> Optional[float]:
+    """Can this human fix the fault, and how long would it take?
+
+    Skill below 0.5 cannot repair infrastructure at all (the paper's casual
+    user); above that, repair time falls with skill.  Returns the scheduled
+    completion delay, or None when the user is stuck.
+    """
+    if technical_skill < 0.5:
+        sim.issue("resource", "user",
+                  f"user lacks the skill to repair the {fault.kind} fault",
+                  skill=technical_skill)
+        return None
+    delay = base_time * (1.5 - technical_skill)
+    sim.schedule(delay, injector.repair, fault, "human")
+    return delay

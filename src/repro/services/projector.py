@@ -1,0 +1,468 @@
+"""The Smart Projector: the paper's challenge application, end to end.
+
+Host side (:class:`SmartProjector`): the commercially available digital
+projector plus the Aroma Adapter export **two separate services** —
+
+* ``projection`` — remote display of a laptop via the VNC-like protocol;
+* ``projector-control`` — power and input control of the appliance;
+
+each guarded by its own session object, each registered in the lookup
+service under a lease.  Client side (:class:`SmartProjectorClient`): the
+presenter's laptop, with every manual step the paper describes exposed as
+an explicit method — because the number of steps a user must model *is*
+the conceptual burden experiment E5 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..discovery.client import ServiceDiscoveryClient
+from ..discovery.records import ServiceItem, ServiceTemplate
+from ..kernel.errors import ServiceError, SessionError
+from ..kernel.scheduler import Simulator
+from .base import RpcClient, RpcResult, RpcService
+from .framebuffer import Framebuffer
+from .sessions import SessionManager
+from .vnc import VNCServer, VNCViewer
+
+#: Stack ports of the two services.
+PROJECTION_PORT: int = 21
+CONTROL_PORT: int = 22
+
+#: service_type strings used in the lookup service.
+PROJECTION_TYPE = "projection"
+CONTROL_TYPE = "projector-control"
+
+
+class SmartProjector:
+    """Adapter + appliance + the two Jini services.
+
+    Args:
+        sim: simulator.
+        adapter: the :class:`repro.phys.devices.AromaAdapter` (projector
+            already connected via :meth:`connect_projector`).
+        use_session_leases: lease-based stale-session reclaim (the remedy);
+            False reproduces the stuck-projector ablation.
+        session_lease_s: session lease duration.
+        room: advertised location attribute.
+    """
+
+    def __init__(self, sim: Simulator, adapter, *,
+                 use_session_leases: bool = True,
+                 session_lease_s: float = 60.0,
+                 room: str = "conference-room",
+                 viewer_fps: float = 15.0) -> None:
+        if adapter.projector is None:
+            raise ServiceError("adapter has no projector connected")
+        self.sim = sim
+        self.adapter = adapter
+        self.projector = adapter.projector
+        self.room = room
+        self.viewer_fps = viewer_fps
+        self.session_lease_s = session_lease_s
+
+        self.projection_sessions = SessionManager(
+            sim, f"{adapter.name}.projection", use_session_leases,
+            max_lease=max(session_lease_s, 1.0))
+        self.control_sessions = SessionManager(
+            sim, f"{adapter.name}.control", use_session_leases,
+            max_lease=max(session_lease_s, 1.0))
+        self.projection_sessions.on_evicted = lambda s: self._stop_viewer()
+
+        self.viewer: Optional[VNCViewer] = None
+
+        self.projection_service = RpcService(
+            sim, adapter, "projection", PROJECTION_PORT, "aroma-projection",
+            code_bytes=12288)
+        self.control_service = RpcService(
+            sim, adapter, "control", CONTROL_PORT, "aroma-control",
+            code_bytes=6144)
+        self._expose_projection()
+        self._expose_control()
+
+    # ------------------------------------------------------------------
+    # Service items for registration
+    # ------------------------------------------------------------------
+    def projection_item(self) -> ServiceItem:
+        return self.projection_service.service_item(
+            PROJECTION_TYPE, room=self.room, resolution=self.projector.resolution)
+
+    def control_item(self) -> ServiceItem:
+        return self.control_service.service_item(
+            CONTROL_TYPE, room=self.room)
+
+    def register(self, discovery: ServiceDiscoveryClient,
+                 lease_duration: float = 60.0) -> None:
+        """Register both services (auto-renewed) with the lookup service."""
+        discovery.register(self.projection_item(), lease_duration)
+        discovery.register(self.control_item(), lease_duration)
+
+    # ------------------------------------------------------------------
+    # Projection service methods
+    # ------------------------------------------------------------------
+    def _expose_projection(self) -> None:
+        svc = self.projection_service
+        svc.expose("acquire", self._proj_acquire)
+        svc.expose("acquire_both", self._proj_acquire_both)
+        svc.expose("renew", self._proj_renew)
+        svc.expose("release", self._proj_release)
+        svc.expose("start", self._proj_start)
+        svc.expose("stop", self._proj_stop)
+        svc.expose("status", self._proj_status)
+
+    def _proj_acquire(self, src: str, owner: Optional[str] = None,
+                      duration: Optional[float] = None, **_kw) -> Dict[str, Any]:
+        session = self.projection_sessions.acquire(
+            owner or src, duration or self.session_lease_s)
+        return {"token": session.token}
+
+    def _proj_acquire_both(self, src: str, owner: Optional[str] = None,
+                           duration: Optional[float] = None,
+                           **_kw) -> Dict[str, Any]:
+        """Atomically acquire projection *and* control — all or nothing.
+
+        The paper's "multiple users ... in different orders" problem is a
+        classic split-acquisition deadlock: user A holds projection, user
+        B holds control, neither can proceed.  Granting both under one
+        operation removes the interleaving entirely.
+        """
+        owner = owner or src
+        duration = duration or self.session_lease_s
+        projection = self.projection_sessions.acquire(owner, duration)
+        try:
+            control = self.control_sessions.acquire(owner, duration)
+        except SessionError:
+            # Roll back: holding one half would be the deadlock we are
+            # here to prevent.
+            self.projection_sessions.release(projection.token)
+            raise
+        return {"token": projection.token, "control_token": control.token}
+
+    def _proj_renew(self, src: str, _token: str = "", **_kw) -> bool:
+        if not self.projection_sessions.renew(_token):
+            raise SessionError("invalid or expired projection token")
+        return True
+
+    def _proj_release(self, src: str, _token: str = "", **_kw) -> bool:
+        self._stop_viewer()
+        if not self.projection_sessions.release(_token):
+            raise SessionError("invalid or expired projection token")
+        return True
+
+    def _proj_start(self, src: str, vnc_address: str = "",
+                    _token: str = "", **_kw) -> bool:
+        if not self.projection_sessions.validate(_token):
+            raise SessionError("invalid or expired projection token")
+        if not vnc_address:
+            raise ServiceError("start needs the VNC server address")
+        self._stop_viewer()
+        self.viewer = VNCViewer(self.sim, self.adapter, vnc_address,
+                                self.adapter.drive_display,
+                                target_fps=self.viewer_fps)
+        self.viewer.start()
+        self.sim.trace("projector.start", self.adapter.name,
+                       f"projection started from {vnc_address}")
+        return True
+
+    def _proj_stop(self, src: str, _token: str = "", **_kw) -> bool:
+        if not self.projection_sessions.validate(_token):
+            raise SessionError("invalid or expired projection token")
+        self._stop_viewer()
+        return True
+
+    def _proj_status(self, src: str, **_kw) -> Dict[str, Any]:
+        return {
+            "holder": self.projection_sessions.holder,
+            "projecting": self.viewer is not None and self.viewer.running,
+            "lamp_on": self.projector.lamp_on,
+        }
+
+    def _stop_viewer(self) -> None:
+        if self.viewer is not None:
+            self.viewer.stop()
+            self.viewer.endpoint.close()
+            self.viewer = None
+
+    # ------------------------------------------------------------------
+    def application_state(self) -> Dict[str, Any]:
+        """The abstract-layer ground truth, as one flat dict.
+
+        This is the right-hand side of Figure 4: what a user's
+        :class:`~repro.user.mental.MentalModel` must stay consistent
+        with.  Keys deliberately match the concepts a presenter has to
+        track (who holds what, is anything projecting, is the lamp on).
+        """
+        return {
+            "projection.holder": self.projection_sessions.holder,
+            "control.holder": self.control_sessions.holder,
+            "projecting": self.viewer is not None and self.viewer.running,
+            "lamp_on": self.projector.lamp_on,
+            "input": self.projector.input_source,
+        }
+
+    # ------------------------------------------------------------------
+    # Control service methods
+    # ------------------------------------------------------------------
+    def _expose_control(self) -> None:
+        svc = self.control_service
+        svc.expose("acquire", self._ctl_acquire)
+        svc.expose("renew", self._ctl_renew)
+        svc.expose("release", self._ctl_release)
+        svc.expose("power", self._ctl_power)
+        svc.expose("brightness", self._ctl_brightness)
+        svc.expose("select_input", self._ctl_select_input)
+        svc.expose("status", self._ctl_status)
+
+    def _ctl_acquire(self, src: str, owner: Optional[str] = None,
+                     duration: Optional[float] = None, **_kw) -> Dict[str, Any]:
+        session = self.control_sessions.acquire(
+            owner or src, duration or self.session_lease_s)
+        return {"token": session.token}
+
+    def _ctl_renew(self, src: str, _token: str = "", **_kw) -> bool:
+        if not self.control_sessions.renew(_token):
+            raise SessionError("invalid or expired control token")
+        return True
+
+    def _ctl_release(self, src: str, _token: str = "", **_kw) -> bool:
+        if not self.control_sessions.release(_token):
+            raise SessionError("invalid or expired control token")
+        return True
+
+    def _ctl_power(self, src: str, on: bool = True, _token: str = "", **_kw) -> bool:
+        if not self.control_sessions.validate(_token):
+            raise SessionError("invalid or expired control token")
+        self.projector.power(on)
+        return True
+
+    def _ctl_brightness(self, src: str, level: float = 0.8,
+                        _token: str = "", **_kw) -> float:
+        if not self.control_sessions.validate(_token):
+            raise SessionError("invalid or expired control token")
+        return self.projector.set_brightness(level)
+
+    def _ctl_select_input(self, src: str, source: str = "",
+                          _token: str = "", **_kw) -> bool:
+        """Switch the appliance's video input — including *away* from the
+        adapter, the failure a presenter's mental model rarely covers."""
+        if not self.control_sessions.validate(_token):
+            raise SessionError("invalid or expired control token")
+        if not source:
+            raise ServiceError("select_input needs a source name")
+        self.projector.select_input(source)
+        return True
+
+    def _ctl_status(self, src: str, **_kw) -> Dict[str, Any]:
+        return {"holder": self.control_sessions.holder,
+                "lamp_on": self.projector.lamp_on,
+                "brightness": self.projector.brightness,
+                "input": self.projector.input_source}
+
+
+class SmartProjectorClient:
+    """The presenter's side: every manual step is an explicit call.
+
+    The paper's inventory of what the user must understand: find both
+    services, acquire both sessions, start the VNC server on the laptop,
+    start projection, power the lamp — and on the way out, stop and
+    release everything.  Each method is asynchronous; results arrive via
+    ``callback(ok, value)``.
+    """
+
+    def __init__(self, sim: Simulator, laptop,
+                 discovery: ServiceDiscoveryClient,
+                 fb: Optional[Framebuffer] = None) -> None:
+        self.sim = sim
+        self.laptop = laptop
+        self.discovery = discovery
+        self.fb = fb or Framebuffer()
+        self.vnc_server = VNCServer(sim, laptop, self.fb)
+        self.projection_proxy = None
+        self.control_proxy = None
+        self._projection_rpc: Optional[RpcClient] = None
+        self._control_rpc: Optional[RpcClient] = None
+        self.projection_token: Optional[str] = None
+        self.control_token: Optional[str] = None
+        self.steps_performed: list = []
+
+    # ------------------------------------------------------------------
+    def _step(self, name: str) -> None:
+        self.steps_performed.append((self.sim.now, name))
+
+    def discover_services(self, callback: Callable[[bool, Any], None],
+                          room: Optional[str] = None) -> None:
+        """Step 1: find both projector services in the lookup service."""
+        self._step("discover")
+        attrs = {"room": room} if room else {}
+        pending = {"projection": None, "control": None}
+
+        def check_done() -> None:
+            if all(v is not None for v in pending.values()):
+                ok = all(v for v in pending.values())
+                callback(ok, dict(pending))
+
+        def on_projection(items) -> None:
+            if items:
+                self.projection_proxy = items[0].proxy
+                if self._projection_rpc is None:
+                    self._projection_rpc = RpcClient(self.sim, self.laptop,
+                                                     self.projection_proxy)
+                else:  # re-discovery: rebind to the (possibly new) proxy
+                    self._projection_rpc.proxy = self.projection_proxy
+                pending["projection"] = True
+            else:
+                pending["projection"] = False
+            check_done()
+
+        def on_control(items) -> None:
+            if items:
+                self.control_proxy = items[0].proxy
+                if self._control_rpc is None:
+                    self._control_rpc = RpcClient(self.sim, self.laptop,
+                                                  self.control_proxy)
+                else:
+                    self._control_rpc.proxy = self.control_proxy
+                pending["control"] = True
+            else:
+                pending["control"] = False
+            check_done()
+
+        self.discovery.find(ServiceTemplate(PROJECTION_TYPE, attributes=attrs),
+                            on_projection)
+        self.discovery.find(ServiceTemplate(CONTROL_TYPE, attributes=attrs),
+                            on_control)
+
+    # ------------------------------------------------------------------
+    def _rpc(self, which: str) -> RpcClient:
+        rpc = self._projection_rpc if which == "projection" else self._control_rpc
+        if rpc is None:
+            raise ServiceError(f"{which} service not discovered yet")
+        return rpc
+
+    @staticmethod
+    def _unwrap(callback: Callable[[bool, Any], None]):
+        def handle(result: Optional[RpcResult]) -> None:
+            if result is None:
+                callback(False, "timeout")
+            elif not result.ok:
+                callback(False, result.error)
+            else:
+                callback(True, result.value)
+        return handle
+
+    def acquire_both(self, callback: Callable[[bool, Any], None],
+                     duration: Optional[float] = None) -> None:
+        """Steps 2a+2b in one atomic operation (the commercial-grade
+        variant): both session tokens or neither."""
+        self._step("acquire_both")
+
+        def done(ok: bool, value: Any) -> None:
+            if ok:
+                self.projection_token = value["token"]
+                self.control_token = value["control_token"]
+            callback(ok, value)
+
+        self._rpc("projection").call(
+            "acquire_both", {"owner": self.laptop.name,
+                             "duration": duration},
+            self._unwrap(done))
+
+    def acquire_projection(self, callback: Callable[[bool, Any], None],
+                           duration: Optional[float] = None) -> None:
+        """Step 2a: get the projection session token."""
+        self._step("acquire_projection")
+
+        def done(ok: bool, value: Any) -> None:
+            if ok:
+                self.projection_token = value["token"]
+            callback(ok, value)
+
+        self._rpc("projection").call(
+            "acquire", {"owner": self.laptop.name, "duration": duration},
+            self._unwrap(done))
+
+    def acquire_control(self, callback: Callable[[bool, Any], None],
+                        duration: Optional[float] = None) -> None:
+        """Step 2b: get the control session token."""
+        self._step("acquire_control")
+
+        def done(ok: bool, value: Any) -> None:
+            if ok:
+                self.control_token = value["token"]
+            callback(ok, value)
+
+        self._rpc("control").call(
+            "acquire", {"owner": self.laptop.name, "duration": duration},
+            self._unwrap(done))
+
+    def start_vnc_server(self) -> None:
+        """Step 3: start sharing the laptop display (often forgotten!)."""
+        self._step("start_vnc_server")
+        self.vnc_server.start()
+
+    def start_projection(self, callback: Callable[[bool, Any], None]) -> None:
+        """Step 4: tell the adapter to start pulling our display."""
+        self._step("start_projection")
+        self._rpc("projection").call(
+            "start", {"vnc_address": self.laptop.name},
+            self._unwrap(callback), token=self.projection_token)
+
+    def power_projector(self, on: bool,
+                        callback: Callable[[bool, Any], None]) -> None:
+        """Step 5: lamp on (or off when leaving)."""
+        self._step(f"power_{'on' if on else 'off'}")
+        self._rpc("control").call("power", {"on": on},
+                                  self._unwrap(callback),
+                                  token=self.control_token)
+
+    def renew_sessions(self) -> None:
+        """Keep both sessions alive during a long talk."""
+        self._step("renew")
+        if self.projection_token:
+            self._rpc("projection").call("renew", {}, None,
+                                         token=self.projection_token)
+        if self.control_token:
+            self._rpc("control").call("renew", {}, None,
+                                      token=self.control_token)
+
+    def stop_projection(self, callback: Callable[[bool, Any], None]) -> None:
+        """Step 6: stop the projection stream."""
+        self._step("stop_projection")
+        self._rpc("projection").call("stop", {}, self._unwrap(callback),
+                                     token=self.projection_token)
+
+    def release_all(self, callback: Callable[[bool, Any], None]) -> None:
+        """Step 7: relinquish both sessions (the step people forget)."""
+        self._step("release_all")
+        pending = {"n": 0}
+
+        def one_done(_ok: bool, _value: Any) -> None:
+            pending["n"] -= 1
+            if pending["n"] == 0:
+                self.projection_token = None
+                self.control_token = None
+                callback(True, None)
+
+        if self.projection_token and self._projection_rpc:
+            pending["n"] += 1
+            self._rpc("projection").call("release", {},
+                                         self._unwrap(one_done),
+                                         token=self.projection_token)
+        if self.control_token and self._control_rpc:
+            pending["n"] += 1
+            self._rpc("control").call("release", {}, self._unwrap(one_done),
+                                      token=self.control_token)
+        if pending["n"] == 0:
+            callback(True, None)
+
+    def stop_vnc_server(self) -> None:
+        """Step 8: stop sharing the laptop display."""
+        self._step("stop_vnc_server")
+        self.vnc_server.stop()
+
+    #: Number of distinct concepts/steps a presenter must hold to run a
+    #: complete session on the *research prototype* — the paper's point
+    #: that "even relatively simple applications can place a conceptual
+    #: burden on its users".
+    RESEARCH_PROTOTYPE_STEPS = 8

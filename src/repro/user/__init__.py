@@ -1,0 +1,54 @@
+"""The user column: physiology sampling, mental models, goals, behaviour.
+
+The paper's central design move is keeping the human in the model at
+every layer; this package provides the user-side artifacts the device-side
+packages are checked against.
+"""
+
+from .behavior import AttemptResult, Procedure, Step, UserAgent
+from .goals import (
+    DesignPurpose,
+    Goal,
+    HarmonyReport,
+    adoption_probability,
+    commercial_product_purpose,
+    harmony,
+    presentation_goal,
+    research_goal,
+    research_prototype_purpose,
+)
+from .mental import (
+    MentalModel,
+    Surprise,
+    completion_probability,
+    concept_capacity,
+    step_success_probability,
+)
+from .physiology import sample_bodies, sample_physical_profile
+from .population import casual_population, lab_population, public_population
+
+__all__ = [
+    "AttemptResult",
+    "DesignPurpose",
+    "Goal",
+    "HarmonyReport",
+    "MentalModel",
+    "Procedure",
+    "Step",
+    "Surprise",
+    "UserAgent",
+    "adoption_probability",
+    "casual_population",
+    "commercial_product_purpose",
+    "completion_probability",
+    "concept_capacity",
+    "harmony",
+    "lab_population",
+    "presentation_goal",
+    "public_population",
+    "research_goal",
+    "research_prototype_purpose",
+    "sample_bodies",
+    "sample_physical_profile",
+    "step_success_probability",
+]

@@ -1,0 +1,189 @@
+"""Simulated user behaviour: procedures, mistakes, frustration, giving up.
+
+The :class:`UserAgent` executes a :class:`Procedure` (an ordered list of
+:class:`Step`) the way a human does: thinking time per step, a chance of
+skipping or fumbling each step that grows with the procedure's conceptual
+burden, frustration that accumulates with every stumble, and abandonment
+when frustration exceeds temperament — the executable form of "if this
+burden is greater than what users are willing to bear ... the system will
+not be used".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..kernel.errors import ConfigurationError
+from ..kernel.process import spawn
+from ..kernel.scheduler import Simulator
+from ..resource.faculties import FacultyProfile
+from .mental import MentalModel, step_success_probability
+
+
+@dataclass
+class Step:
+    """One manual step of an operating procedure.
+
+    Args:
+        name: identifier ("start_vnc_server").
+        action: zero-argument callable performing the step's system effect.
+        think_time: mean seconds the user needs before acting.
+        optional_feeling: steps that *feel* optional ("release the
+            session") are the ones users skip when their mental model is
+            incomplete — skipping them does not block progress, it breaks
+            the system later.
+        verify: optional zero-argument predicate the user can run to see
+            whether the step worked; without one, mistakes go unnoticed.
+    """
+
+    name: str
+    action: Callable[[], None]
+    think_time: float = 2.0
+    optional_feeling: bool = False
+    verify: Optional[Callable[[], bool]] = None
+
+
+@dataclass
+class Procedure:
+    """An ordered operating procedure; its length is its burden."""
+
+    name: str
+    steps: List[Step]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ConfigurationError("a procedure needs at least one step")
+
+    @property
+    def burden(self) -> int:
+        return len(self.steps)
+
+
+@dataclass
+class AttemptResult:
+    """Outcome of one procedure attempt."""
+
+    procedure: str
+    user: str
+    completed: bool
+    abandoned: bool
+    skipped_steps: List[str] = field(default_factory=list)
+    fumbles: int = 0
+    elapsed: float = 0.0
+    frustration: float = 0.0
+
+
+class UserAgent:
+    """One simulated user working through procedures.
+
+    Args:
+        sim: simulator.
+        name: user name.
+        faculties: skills and temperament.
+        intuitiveness / consistent_metaphors: interface quality (affects
+            per-step success, see :mod:`repro.user.mental`).
+        frustration_per_fumble: cost of each stumble; abandonment happens
+            when accumulated cost exceeds ``frustration_tolerance``.
+    """
+
+    def __init__(self, sim: Simulator, name: str, faculties: FacultyProfile,
+                 intuitiveness: float = 0.7,
+                 consistent_metaphors: bool = True,
+                 frustration_per_fumble: float = 0.25) -> None:
+        self.sim = sim
+        self.name = name
+        self.faculties = faculties
+        self.intuitiveness = intuitiveness
+        self.consistent_metaphors = consistent_metaphors
+        self.frustration_per_fumble = frustration_per_fumble
+        self.mental = MentalModel(sim, name, faculties)
+        self._rng = sim.rng(f"user.{name}")
+        self.results: List[AttemptResult] = []
+
+    # ------------------------------------------------------------------
+    def attempt(self, procedure: Procedure,
+                on_done: Optional[Callable[[AttemptResult], None]] = None):
+        """Run the procedure as a simulation process."""
+        return spawn(self.sim, self._run(procedure, on_done),
+                     name=f"{self.name}.{procedure.name}")
+
+    def _run(self, procedure: Procedure,
+             on_done: Optional[Callable[[AttemptResult], None]]):
+        result = AttemptResult(procedure.name, self.name, False, False)
+        started = self.sim.now
+        frustration = 0.0
+        p_step = step_success_probability(
+            procedure.burden, self.faculties, self.intuitiveness,
+            self.consistent_metaphors)
+        for step in procedure.steps:
+            # Thinking time: slower when the procedure is harder for them.
+            think = step.think_time * (0.5 + (1.0 - p_step))
+            yield float(self._rng.exponential(think))
+
+            if self._rng.random() > p_step:
+                # The user does not correctly recall/execute this step.
+                if step.optional_feeling:
+                    # Feels skippable: silently omitted, no frustration —
+                    # the dangerous case (forgotten release, forgotten VNC
+                    # server).
+                    result.skipped_steps.append(step.name)
+                    self.sim.issue("mental", self.name,
+                                   f"skipped step {step.name!r} of "
+                                   f"{procedure.name} (incomplete mental model)",
+                                   step=step.name)
+                    continue
+                # Mandatory-feeling step fumbled: user notices, retries.
+                result.fumbles += 1
+                frustration += self.frustration_per_fumble
+                self.sim.trace("user.fumble", self.name,
+                               f"fumbled {step.name!r} "
+                               f"(frustration {frustration:.2f})")
+                if frustration > self.faculties.frustration_tolerance:
+                    result.abandoned = True
+                    result.frustration = frustration
+                    result.elapsed = self.sim.now - started
+                    self.sim.issue("intentional", self.name,
+                                   f"abandoned {procedure.name} after "
+                                   f"{result.fumbles} fumbles",
+                                   fumbles=result.fumbles)
+                    self._finish(result, on_done)
+                    return result
+                yield float(self._rng.exponential(step.think_time))
+
+            step.action()
+            self.mental.believe(f"did.{step.name}", True)
+
+            if step.verify is not None and not step.verify():
+                # The system visibly did not do what the user expected.
+                self.mental.observe(f"ok.{step.name}", False)
+                result.fumbles += 1
+                frustration += self.frustration_per_fumble
+                if frustration > self.faculties.frustration_tolerance:
+                    result.abandoned = True
+                    result.frustration = frustration
+                    result.elapsed = self.sim.now - started
+                    self._finish(result, on_done)
+                    return result
+                # One recovery try: re-run the action after a pause.
+                yield float(self._rng.exponential(step.think_time * 2))
+                step.action()
+
+        result.completed = True
+        result.frustration = frustration
+        result.elapsed = self.sim.now - started
+        self._finish(result, on_done)
+        return result
+
+    def _finish(self, result: AttemptResult,
+                on_done: Optional[Callable[[AttemptResult], None]]) -> None:
+        self.results.append(result)
+        if on_done is not None:
+            on_done(result)
+
+    # ------------------------------------------------------------------
+    @property
+    def completion_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.completed for r in self.results) / len(self.results)

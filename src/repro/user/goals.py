@@ -1,0 +1,168 @@
+"""The intentional layer: user goals and design purpose.
+
+"We believe that the probability of success is greatly enhanced when a
+system's design is in harmony with the user's goals."  The paper's own
+honesty test — the Smart Projector is in harmony with *researchers'* goals
+but not a casual presenter's — is exactly what :func:`harmony` computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..kernel.errors import ConfigurationError
+from ..resource.faculties import FacultyProfile
+
+
+@dataclass(frozen=True)
+class Goal:
+    """Something a user is trying to accomplish *right now*.
+
+    Goals are the fastest-changing stratum of the user column ("a user's
+    goals in using a device may change by the minute").
+    """
+
+    name: str
+    #: capabilities the goal needs from the system, e.g. ``"project-display"``.
+    requires: Tuple[str, ...]
+    #: how much setup the user will tolerate, in manual steps.
+    acceptable_burden: int = 4
+    #: does the user accept having to administer infrastructure?
+    tolerates_administration: bool = False
+    importance: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not self.requires:
+            raise ConfigurationError("a goal must require something")
+        if self.acceptable_burden < 1:
+            raise ConfigurationError("acceptable burden must be >= 1")
+        if not (0.0 <= self.importance <= 1.0):
+            raise ConfigurationError("importance must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class DesignPurpose:
+    """Why a system was built — "the reason it was created and the needs
+    it attempts to fulfill"."""
+
+    name: str
+    #: capabilities the design actually delivers.
+    provides: Tuple[str, ...]
+    #: manual steps its operation demands of the user.
+    demanded_burden: int
+    #: does operating it assume administration skill?
+    assumes_administration: bool
+    #: the population the designers had in mind.
+    intended_users: str
+
+    def __post_init__(self) -> None:
+        if self.demanded_burden < 1:
+            raise ConfigurationError("demanded burden must be >= 1")
+
+
+@dataclass
+class HarmonyReport:
+    """How well a design purpose serves one user's goal."""
+
+    goal: str
+    purpose: str
+    coverage: float        #: fraction of required capabilities provided
+    burden_fit: float      #: 1.0 when demanded burden <= acceptable
+    administration_fit: float
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def score(self) -> float:
+        """Harmony in [0, 1]: geometric-style combination so any hard
+        mismatch drags the whole score down."""
+        return self.coverage * (0.5 + 0.5 * self.burden_fit) * \
+            (0.5 + 0.5 * self.administration_fit)
+
+    @property
+    def in_harmony(self) -> bool:
+        return self.score >= 0.6 and self.coverage == 1.0
+
+
+def harmony(purpose: DesignPurpose, goal: Goal,
+            user: Optional[FacultyProfile] = None) -> HarmonyReport:
+    """Assess the intentional-layer relation: the design's purpose *must
+    be in harmony with* the user's goals."""
+    provided = set(purpose.provides)
+    required = set(goal.requires)
+    covered = required & provided
+    coverage = len(covered) / len(required)
+    notes = []
+    if coverage < 1.0:
+        notes.append(f"missing capabilities: {sorted(required - provided)}")
+
+    if purpose.demanded_burden <= goal.acceptable_burden:
+        burden_fit = 1.0
+    else:
+        burden_fit = goal.acceptable_burden / purpose.demanded_burden
+        notes.append(
+            f"demands {purpose.demanded_burden} steps; user accepts "
+            f"{goal.acceptable_burden}")
+
+    administration_fit = 1.0
+    if purpose.assumes_administration and not goal.tolerates_administration:
+        can_cope = user is not None and user.can_administer_systems
+        administration_fit = 1.0 if can_cope else 0.0
+        if not can_cope:
+            notes.append("design assumes an administrator the user is not")
+
+    return HarmonyReport(goal.name, purpose.name, coverage, burden_fit,
+                         administration_fit, notes)
+
+
+def adoption_probability(report: HarmonyReport,
+                         user: Optional[FacultyProfile] = None) -> float:
+    """Probability the user adopts (keeps using) the system.
+
+    "If this burden is greater than what users are willing to bear in
+    meeting their goals, then the system will not be used."  Adoption is
+    the harmony score, softened slightly by frustration tolerance.
+    """
+    tolerance = user.frustration_tolerance if user is not None else 0.5
+    return float(min(1.0, report.score * (0.8 + 0.4 * tolerance)))
+
+
+# ---------------------------------------------------------------------------
+# The paper's own intentional-layer analysis, as presets
+# ---------------------------------------------------------------------------
+
+def presentation_goal() -> Goal:
+    """"A user wants to make a presentation, but does not necessarily want
+    to perform unnecessary system interconnection and configuration."""
+    return Goal("make-presentation",
+                requires=("project-display", "control-projector"),
+                acceptable_burden=3, tolerates_administration=False,
+                importance=0.9)
+
+
+def research_goal() -> Goal:
+    """The intended users: researchers demonstrating service discovery."""
+    return Goal("research-demonstration",
+                requires=("project-display", "control-projector",
+                          "observe-discovery"),
+                acceptable_burden=10, tolerates_administration=True,
+                importance=0.8)
+
+
+def research_prototype_purpose() -> DesignPurpose:
+    """"Our Smart Projector is designed as a vehicle to research, measure,
+    and demonstrate service discovery and other pervasive computing
+    infrastructure issues."""
+    return DesignPurpose("smart-projector-prototype",
+                         provides=("project-display", "control-projector",
+                                   "observe-discovery"),
+                         demanded_burden=8, assumes_administration=True,
+                         intended_users="researchers")
+
+
+def commercial_product_purpose() -> DesignPurpose:
+    """The commercial-grade variant the paper says would be needed."""
+    return DesignPurpose("smart-projector-product",
+                         provides=("project-display", "control-projector"),
+                         demanded_burden=2, assumes_administration=False,
+                         intended_users="presenters")

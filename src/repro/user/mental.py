@@ -1,0 +1,152 @@
+"""Mental models: the user side of the abstract layer.
+
+"The key issue that must be addressed in this layer is maintaining
+consistency between the user's reasoning and expectations and the logic
+and state of the application."  A :class:`MentalModel` is a belief store
+the simulated user updates from what they observe; its *consistency*
+against the application's actual state is measurable, and every surprise
+(expectation violated by observation) is recorded as an abstract-layer
+issue.
+
+The module also provides the conceptual-burden model behind experiment
+E5: how likely a user is to correctly hold an ``n``-step operating
+procedure in mind, given their faculties and the interface's
+intuitiveness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..kernel.errors import ConfigurationError
+from ..kernel.scheduler import Simulator
+from ..resource.faculties import FacultyProfile
+
+
+@dataclass
+class Surprise:
+    """One observed violation of the user's expectations."""
+
+    time: float
+    key: str
+    expected: Any
+    observed: Any
+
+
+class MentalModel:
+    """What one user currently believes about the system."""
+
+    def __init__(self, sim: Simulator, owner: str,
+                 faculties: FacultyProfile) -> None:
+        self.sim = sim
+        self.owner = owner
+        self.faculties = faculties
+        self._beliefs: Dict[str, Any] = {}
+        self.surprises: List[Surprise] = []
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+    def believe(self, key: str, value: Any) -> None:
+        """Adopt a belief (from instruction, inference, or observation)."""
+        self._beliefs[key] = value
+        self.updates += 1
+
+    def belief(self, key: str, default: Any = None) -> Any:
+        return self._beliefs.get(key, default)
+
+    def forget(self, key: str) -> None:
+        self._beliefs.pop(key, None)
+
+    def beliefs(self) -> Dict[str, Any]:
+        return dict(self._beliefs)
+
+    # ------------------------------------------------------------------
+    def observe(self, key: str, actual: Any) -> bool:
+        """Compare expectation against reality and update.
+
+        Returns True when the observation matched the existing belief (or
+        there was none); False records a :class:`Surprise` and an
+        abstract-layer issue, then corrects the belief — "using software
+        becomes a mental exercise similar to debugging".
+        """
+        expected = self._beliefs.get(key, _ABSENT)
+        matched = expected is _ABSENT or expected == actual
+        if not matched:
+            self.surprises.append(Surprise(self.sim.now, key, expected, actual))
+            self.sim.issue("mental", self.owner,
+                           f"expected {key}={expected!r}, observed {actual!r}",
+                           key=key)
+        self._beliefs[key] = actual
+        return matched
+
+    def consistency(self, actual_state: Dict[str, Any]) -> float:
+        """Fraction of the application's state the user models correctly.
+
+        Keys the user has no belief about count as inconsistent — not
+        knowing that a session must be released *is* the failure mode.
+        """
+        if not actual_state:
+            raise ConfigurationError("actual state must be non-empty")
+        correct = sum(1 for key, value in actual_state.items()
+                      if self._beliefs.get(key, _ABSENT) == value)
+        return correct / len(actual_state)
+
+
+_ABSENT = object()
+
+
+# ---------------------------------------------------------------------------
+# Conceptual burden
+# ---------------------------------------------------------------------------
+
+def concept_capacity(faculties: FacultyProfile,
+                     intuitiveness: float = 0.7,
+                     consistent_metaphors: bool = True) -> float:
+    """How many operating concepts this user can reliably hold.
+
+    Built from the paper's ingredients: faculties ("the mental models that
+    a user can create will depend greatly on his faculties") and interface
+    quality ("common metaphors ... eliminating unnecessary surprises").
+    Ranges roughly 2–12 concepts.
+    """
+    if not (0.0 <= intuitiveness <= 1.0):
+        raise ConfigurationError("intuitiveness must be in [0, 1]")
+    skill = (0.35 * faculties.gui_literacy + 0.35 * faculties.domain_knowledge
+             + 0.30 * faculties.learning_rate)
+    capacity = 2.0 + 7.0 * skill + 2.0 * intuitiveness
+    if consistent_metaphors:
+        capacity += 1.0
+    return capacity
+
+
+def step_success_probability(burden: int, faculties: FacultyProfile,
+                             intuitiveness: float = 0.7,
+                             consistent_metaphors: bool = True) -> float:
+    """Probability of performing one step correctly in an ``burden``-step
+    procedure: a logistic in (capacity − burden)."""
+    if burden < 1:
+        raise ConfigurationError("burden must be >= 1")
+    capacity = concept_capacity(faculties, intuitiveness, consistent_metaphors)
+    return float(1.0 / (1.0 + np.exp(-(capacity - burden) / 1.5)))
+
+
+def completion_probability(burden: int, faculties: FacultyProfile,
+                           intuitiveness: float = 0.7,
+                           consistent_metaphors: bool = True,
+                           retries: int = 1) -> float:
+    """Probability the whole procedure is completed without abandoning.
+
+    Each of the ``burden`` steps succeeds independently with the step
+    probability; a failed step may be retried up to ``retries`` times
+    scaled by the user's frustration tolerance (low-tolerance users give
+    up on the first stumble).  This closed form is what experiment E5
+    compares against the simulated :class:`~repro.user.behavior.UserAgent`.
+    """
+    p = step_success_probability(burden, faculties, intuitiveness,
+                                 consistent_metaphors)
+    effective_retries = retries * faculties.frustration_tolerance
+    p_step = 1.0 - (1.0 - p) ** (1.0 + effective_retries)
+    return float(p_step ** burden)

@@ -1,0 +1,54 @@
+"""Sampling physical profiles for user populations.
+
+Physiology is the slowest-changing stratum of the user column.  Samplers
+draw :class:`~repro.phys.human.PhysicalProfile` variation (acuity,
+dexterity, hearing, articulation) from plausible distributions so that
+ergonomics and voice experiments see populations, not a single idealised
+body.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..kernel.errors import ConfigurationError
+from ..phys.human import PhysicalProfile
+
+
+def _clip01(x: float) -> float:
+    return float(np.clip(x, 0.05, 1.0))
+
+
+def sample_physical_profile(rng: np.random.Generator, name: str,
+                            age_group: str = "adult") -> PhysicalProfile:
+    """Draw one body.
+
+    Age groups shift the means the way population norms do: ``older``
+    users have lower acuity/dexterity and higher hearing thresholds;
+    ``young`` users the opposite.
+    """
+    if age_group not in ("young", "adult", "older"):
+        raise ConfigurationError(f"unknown age group {age_group!r}")
+    shift = {"young": 0.05, "adult": 0.0, "older": -0.2}[age_group]
+    hearing_shift = {"young": -3.0, "adult": 0.0, "older": 12.0}[age_group]
+    return PhysicalProfile(
+        name=name,
+        speech_level_db=float(rng.normal(62.0, 3.0)),
+        speech_clarity=_clip01(rng.normal(0.93 + shift / 2, 0.04)),
+        vision_acuity=_clip01(rng.normal(0.9 + shift, 0.1)),
+        dexterity=_clip01(rng.normal(0.9 + shift, 0.08)),
+        hearing_threshold_db=float(max(0.0, rng.normal(25.0 + hearing_shift, 4.0))),
+        reach_m=float(np.clip(rng.normal(0.72, 0.06), 0.45, 1.0)),
+        carry_limit_kg=float(np.clip(rng.normal(2.5 + shift, 0.6), 0.5, 6.0)),
+    )
+
+
+def sample_bodies(rng: np.random.Generator, count: int, prefix: str = "user",
+                  age_group: str = "adult") -> List[PhysicalProfile]:
+    """Draw ``count`` bodies with deterministic names."""
+    if count < 1:
+        raise ConfigurationError("count must be >= 1")
+    return [sample_physical_profile(rng, f"{prefix}-{i + 1}", age_group)
+            for i in range(count)]

@@ -1,0 +1,25 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.env.world import World
+from repro.kernel.scheduler import Simulator
+from repro.phys.mac import WirelessMedium
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def world() -> World:
+    return World(100.0, 60.0)
+
+
+@pytest.fixture
+def medium(sim: Simulator, world: World) -> WirelessMedium:
+    return WirelessMedium(sim, world)

@@ -1,0 +1,187 @@
+"""Shape tests: scaled-down runs of every experiment must reproduce the
+paper's qualitative claims (who wins, where the knees are)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def e1():
+    return run_experiment("E1", rates=("2Mbps", "11Mbps"), duration=25.0)
+
+
+def test_e1_slides_survive_both_rates(e1):
+    for row in e1.select(content="slides"):
+        assert row["delivery_ratio"] >= 0.8
+
+
+def test_e1_animation_dies_at_low_rate(e1):
+    slow = e1.select(rate="2Mbps", content="animation")[0]
+    fast = e1.select(rate="11Mbps", content="animation")[0]
+    assert fast["displayed_fps"] > 4 * slow["displayed_fps"]
+    assert slow["displayed_fps"] < 1.0  # "prevents rapid animation"
+
+
+def test_e1_latency_grows_as_rate_drops(e1):
+    slow = e1.select(rate="2Mbps", content="animation")[0]
+    fast = e1.select(rate="11Mbps", content="animation")[0]
+    assert slow["update_latency_p50_s"] > fast["update_latency_p50_s"]
+
+
+def test_e1_encoding_ablation_dirty_rect_wins():
+    result = run_experiment("E1-ablation", duration=25.0)
+    dirty = result.select(encoding="dirty-rect")[0]
+    full = result.select(encoding="full-frame")[0]
+    assert full["bytes_per_update"] > 2 * dirty["bytes_per_update"]
+
+
+def test_e2_density_degrades_cochannel_link():
+    result = run_experiment("E2", densities=(0, 16), duration=8.0)
+    quiet = result.select(interferer_pairs=0, channel_plan="cochannel")[0]
+    crowded = result.select(interferer_pairs=16, channel_plan="cochannel")[0]
+    assert crowded["goodput_kbps"] < 0.8 * quiet["goodput_kbps"]
+    assert crowded["backoffs_per_frame"] > quiet["backoffs_per_frame"]
+    # Spreading over 1/6/11 recovers throughput.
+    spread = result.select(interferer_pairs=16, channel_plan="spread")[0]
+    assert spread["goodput_kbps"] > crowded["goodput_kbps"]
+
+
+def test_e3_range_table_ordering():
+    result = run_experiment("E3-range-table")
+    ranges = result.column("range_m")
+    assert ranges == sorted(ranges, reverse=True)
+
+
+def test_e3_rate_adaptation_degrades_gracefully():
+    result = run_experiment("E3", distances=(10.0, 120.0, 300.0),
+                            duration=4.0)
+    adaptive = {row["distance_m"]: row
+                for row in result.select(mode="adaptive")}
+    pinned = {row["distance_m"]: row for row in result.select(mode="11Mbps")}
+    # At mid range the adaptive link still works; pinned 11 Mb/s is dead.
+    assert adaptive[120.0]["goodput_kbps"] > 5 * pinned[120.0]["goodput_kbps"]
+    # Far beyond range both die.
+    assert adaptive[300.0]["delivery_ratio"] < 0.3
+
+
+def test_e4_stale_session_wait_bounded_by_lease():
+    result = run_experiment("E4-stale", lease_durations=(10.0, 30.0),
+                            admin_after_s=120.0, horizon=200.0)
+    lease10 = result.select(policy="lease=10s")[0]
+    lease30 = result.select(policy="lease=30s")[0]
+    admin = result.select(policy="admin intervention")[0]
+    stuck = result.select(policy="no lease, no admin")[0]
+    assert lease10["wait_s"] <= 10.0 + 4.0
+    assert lease30["wait_s"] <= 30.0 + 4.0
+    assert lease10["wait_s"] < lease30["wait_s"] < admin["wait_s"]
+    assert math.isinf(stuck["wait_s"])
+
+
+def test_e4_hijack_never_succeeds():
+    result = run_experiment("E4-hijack", attempts=100)
+    assert result.rows[0]["hijacks_succeeded"] == 0
+
+
+def test_e5_completion_collapses_with_burden():
+    result = run_experiment("E5", burdens=(2, 12), users_per_cell=25)
+    for population in ("lab", "casual"):
+        easy = result.select(population=population, burden=2)[0]
+        hard = result.select(population=population, burden=12)[0]
+        assert easy["completed"] > 0.9
+        assert hard["completed"] < 0.3
+    # Casual users do no better than researchers at high burden.
+    lab8 = result.select(population="lab", burden=12)[0]
+    casual8 = result.select(population="casual", burden=12)[0]
+    assert casual8["completed"] <= lab8["completed"] + 0.05
+
+
+def test_e5_prototype_vs_product():
+    result = run_experiment("E5-prototype", users_per_cell=30)
+    prototype = result.select(variant="research-prototype")[0]
+    product = result.select(variant="commercial-product")[0]
+    assert product["completed"] > 0.9
+    assert prototype["completed"] < 0.4
+
+
+def test_e6_population_gap_and_soc_fix():
+    result = run_experiment("E6", population_size=50)
+    lab = result.select(platform="research-adapter", population="lab")[0]
+    casual = result.select(platform="research-adapter",
+                           population="casual")[0]
+    assert lab["usable_fraction"] > 0.9
+    assert casual["usable_fraction"] < 0.2
+    soc_casual = result.select(platform="commercial-soc",
+                               population="casual")[0]
+    assert soc_casual["usable_fraction"] > 0.8
+
+
+def test_e6_recovery_diagnostics_beat_humans():
+    result = run_experiment("E6-recovery", horizon=100.0)
+    for fault in ("adapter", "registry"):
+        rows = result.select(fault=fault)
+        skilled = next(r for r in rows if "0.90" in r["remedy"])
+        unskilled = next(r for r in rows if "0.15" in r["remedy"])
+        auto = next(r for r in rows if r["remedy"] == "diagnostics")
+        assert auto["outage_s"] < skilled["outage_s"]
+        assert not unskilled["recovered"]
+
+
+def test_e7_harmony_diagonal():
+    result = run_experiment("E7", population_size=50)
+    proto_res = result.select(purpose="research-prototype",
+                              population="researchers")[0]
+    proto_cas = result.select(purpose="research-prototype",
+                              population="casual-presenters")[0]
+    prod_cas = result.select(purpose="commercial-product",
+                             population="casual-presenters")[0]
+    assert proto_res["in_harmony_fraction"] > 0.9
+    assert proto_cas["in_harmony_fraction"] < 0.1
+    assert prod_cas["in_harmony_fraction"] > 0.9
+
+
+def test_e8_wer_monotone_in_noise():
+    result = run_experiment("E8", floor_levels_db=(35, 55, 75), speakers=6,
+                            words_per_speaker=30)
+    wers = result.column("word_error_rate")
+    assert wers[0] < 0.3
+    assert wers == sorted(wers)
+    assert wers[-1] > 0.9
+    # Social appropriateness flips the other way.
+    social = result.column("socially_ok")
+    assert social[0] < 0.5 and social[-1] > 0.5
+
+
+def test_e9_full_model_beats_device_only():
+    result = run_experiment("E9", horizon=240.0)
+    full = result.rows[0]
+    ablated = result.rows[1]
+    assert full["coverage"] >= 0.85
+    assert ablated["coverage"] <= full["coverage"] - 0.3
+
+
+def test_figures_regenerate():
+    result = run_experiment("F1-F5")
+    assert len(result.rows) == 5
+    assert all(row["mentions_relation"] for row in result.rows)
+
+
+def test_full_quick_report_runs_every_experiment():
+    """The one-shot report regenerates every registered table."""
+    from repro.experiments import list_experiments
+    from repro.experiments.report import run_all
+
+    results = run_all(budget="quick")
+    assert len(results) == len(list_experiments())
+    for result in results:
+        assert result.rows, f"{result.experiment_id} produced no rows"
+
+
+def test_e9_deterministic_per_seed():
+    first = run_experiment("E9", seed=42, horizon=240.0)
+    second = run_experiment("E9", seed=42, horizon=240.0)
+    assert first.rows == second.rows

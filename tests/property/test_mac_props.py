@@ -1,0 +1,84 @@
+"""Property-based conservation invariants for the MAC and medium."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.env.world import World
+from repro.kernel.scheduler import Simulator
+from repro.net.frames import Frame
+from repro.phys.mac import CsmaMac, WirelessMedium
+
+topologies = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=80.0),
+              st.floats(min_value=0.0, max_value=40.0)),
+    min_size=2, max_size=5, unique=True)
+
+traffic = st.lists(st.tuples(st.integers(min_value=0, max_value=4),
+                             st.integers(min_value=0, max_value=4),
+                             st.integers(min_value=1, max_value=1400)),
+                   min_size=1, max_size=25)
+
+
+@given(topologies, traffic, st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_mac_conservation_invariants(positions, sends, seed):
+    """For any topology and traffic pattern:
+
+    * successes + retry drops + still-queued/in-flight == accepted frames;
+    * total receiver deliveries never exceed attempted transmissions;
+    * busy time is non-negative and bounded by elapsed time x stations.
+    """
+    sim = Simulator(seed=seed, trace=False)
+    world = World(100, 50)
+    medium = WirelessMedium(sim, world)
+    stations = []
+    for i, xy in enumerate(positions):
+        world.place(f"s{i}", xy)
+        stations.append(CsmaMac(sim, medium, f"s{i}", queue_limit=256))
+    accepted = 0
+    for src_i, dst_i, size in sends:
+        src = stations[src_i % len(stations)]
+        dst = stations[dst_i % len(stations)]
+        if src is dst:
+            continue
+        if src.send(Frame(src.address, dst.address, None, size)):
+            accepted += 1
+    horizon = 30.0
+    sim.run(until=horizon)
+
+    successes = sum(s.stats["tx_success"] for s in stations)
+    drops = sum(s.stats["tx_retry_drops"] for s in stations)
+    leftover = sum(s.queue_depth() for s in stations) + \
+        sum(1 for s in stations if s._in_flight is not None)
+    assert successes + drops + leftover == accepted
+
+    rx_total = sum(s.stats["rx_frames"] for s in stations)
+    assert rx_total <= medium.total_transmissions
+    assert medium.total_deliveries >= successes
+
+    for s in stations:
+        assert 0.0 <= s.stats["busy_time"] <= horizon + 1.0
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1),
+       st.integers(min_value=1, max_value=20))
+@settings(max_examples=20, deadline=None)
+def test_broadcast_never_retries(seed, count):
+    sim = Simulator(seed=seed, trace=False)
+    world = World(50, 50)
+    medium = WirelessMedium(sim, world)
+    world.place("a", (10, 10))
+    world.place("b", (12, 10))
+    a = CsmaMac(sim, medium, "a", queue_limit=64)
+    CsmaMac(sim, medium, "b")
+    from repro.net.addresses import BROADCAST
+
+    accepted = sum(
+        1 for _ in range(count)
+        if a.send(Frame("a", BROADCAST, None, 100, kind="mgmt")))
+    sim.run(until=20.0)
+    # Every accepted broadcast counts as one success, none are retried.
+    assert a.stats["tx_success"] == accepted
+    assert a.stats["tx_retry_drops"] == 0

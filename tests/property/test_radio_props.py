@@ -1,0 +1,115 @@
+"""Property-based tests for radio physics and the spectrum model."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.env.radio import (
+    NOISE_FLOOR_DBM,
+    RATES,
+    PropagationModel,
+    best_rate,
+    dbm_to_mw,
+    mw_to_dbm,
+    sinr_db,
+)
+from repro.env.spectrum import CHANNELS, overlap_factor, overlap_matrix
+
+channels = st.integers(min_value=CHANNELS.start, max_value=CHANNELS.stop - 1)
+power = st.floats(min_value=-100.0, max_value=30.0, allow_nan=False)
+distance = st.floats(min_value=0.1, max_value=5000.0, allow_nan=False)
+
+
+@given(power)
+@settings(max_examples=50, deadline=None)
+def test_dbm_mw_roundtrip_everywhere(dbm):
+    assert float(mw_to_dbm(dbm_to_mw(dbm))) == pytest_approx(dbm)
+
+
+def pytest_approx(x, tolerance=1e-9):
+    class _Approx:
+        def __eq__(self, other):
+            return abs(other - x) <= tolerance * max(1.0, abs(x))
+    return _Approx()
+
+
+@given(distance, distance)
+@settings(max_examples=60, deadline=None)
+def test_path_loss_monotone(d1, d2):
+    model = PropagationModel(shadowing_sigma_db=0.0)
+    l1 = float(model.path_loss_db(np.asarray(d1)))
+    l2 = float(model.path_loss_db(np.asarray(d2)))
+    if d1 < d2:
+        assert l1 <= l2
+    elif d1 > d2:
+        assert l1 >= l2
+
+
+@given(channels, channels)
+@settings(max_examples=60, deadline=None)
+def test_overlap_symmetric_bounded(a, b):
+    f = overlap_factor(a, b)
+    assert 0.0 <= f <= 1.0
+    assert f == overlap_factor(b, a)
+    if a == b:
+        assert f == 1.0
+    if abs(a - b) >= 5:
+        assert f == 0.0
+
+
+@given(st.lists(channels, min_size=1, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_overlap_matrix_consistent(channel_list)  :
+    matrix = overlap_matrix(channel_list)
+    assert matrix.shape == (len(channel_list), len(channel_list))
+    assert np.allclose(matrix, matrix.T)
+    assert np.allclose(np.diag(matrix), 1.0)
+
+
+@given(st.floats(min_value=-20.0, max_value=50.0, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_fer_in_unit_interval_all_rates(sinr):
+    for mode in RATES:
+        fer = mode.fer(sinr, 1500)
+        assert 0.0 <= fer <= 1.0
+
+
+@given(st.floats(min_value=-20.0, max_value=50.0),
+       st.integers(min_value=1, max_value=1500))
+@settings(max_examples=60, deadline=None)
+def test_best_rate_meets_target_or_is_base(sinr, size):
+    mode = best_rate(sinr, size, fer_target=0.1)
+    if mode is not RATES[0]:
+        assert mode.fer(sinr, size) <= 0.1
+
+
+@given(power, st.lists(power, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_sinr_bounded_by_snr(signal, interferers):
+    with_interference = sinr_db(signal, interferers)
+    without = sinr_db(signal, [])
+    assert with_interference <= without + 1e-9
+    assert without == pytest_approx(signal - NOISE_FLOOR_DBM, 1e-9)
+
+
+@given(st.floats(min_value=1.5, max_value=5.0),
+       st.floats(min_value=0.0, max_value=10.0))
+@settings(max_examples=30, deadline=None)
+def test_range_ordering_holds_for_any_environment(exponent, sigma):
+    model = PropagationModel(exponent=exponent, shadowing_sigma_db=sigma)
+    ranges = [model.range_for_rate(mode) for mode in RATES]
+    assert ranges == sorted(ranges, reverse=True)
+
+
+@given(st.floats(min_value=0.1, max_value=2000.0),
+       st.floats(min_value=-10.0, max_value=30.0))
+@settings(max_examples=60, deadline=None)
+def test_scalar_rx_power_matches_vector_path(distance, power):
+    """The scalar fast path must agree with the vectorised formula."""
+    model = PropagationModel(shadowing_sigma_db=0.0)
+    scalar = model.received_power_dbm(power, distance)
+    vector = float(model.received_power_vector(
+        np.asarray([power]), np.asarray([distance]))[0])
+    assert abs(scalar - vector) < 1e-9

@@ -1,0 +1,94 @@
+"""Property-based invariants for the user column."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.scheduler import Simulator
+from repro.resource.faculties import FacultyProfile
+from repro.user.behavior import Procedure, Step, UserAgent
+from repro.user.goals import DesignPurpose, Goal, adoption_probability, harmony
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+faculty_profiles = st.builds(
+    FacultyProfile, name=st.just("u"), languages=st.just(("en",)),
+    gui_literacy=unit, technical_skill=unit, domain_knowledge=unit,
+    frustration_tolerance=unit, learning_rate=unit)
+
+
+@given(faculty_profiles,
+       st.integers(min_value=1, max_value=10),
+       st.integers(min_value=0, max_value=2**31 - 1),
+       unit)
+@settings(max_examples=30, deadline=None)
+def test_attempt_outcome_invariants(faculties, steps, seed, intuitiveness):
+    """Every attempt terminates with a consistent outcome record:
+    completed XOR abandoned, non-negative timings, skipped steps only
+    from the optional set."""
+    sim = Simulator(seed=seed, trace=False)
+    agent = UserAgent(sim, "u", faculties, intuitiveness=intuitiveness)
+    optional = {f"s{i}" for i in range(steps) if i % 3 == 0}
+    procedure = Procedure("p", [
+        Step(f"s{i}", lambda: None, think_time=0.2,
+             optional_feeling=(f"s{i}" in optional))
+        for i in range(steps)])
+    results = []
+    agent.attempt(procedure, results.append)
+    sim.run(until=100_000.0)
+    assert len(results) == 1
+    outcome = results[0]
+    assert outcome.completed != outcome.abandoned or not outcome.completed
+    assert not (outcome.completed and outcome.abandoned)
+    assert outcome.elapsed >= 0.0
+    assert outcome.fumbles >= 0
+    assert set(outcome.skipped_steps) <= optional
+    assert outcome.frustration >= 0.0
+
+
+goals = st.builds(
+    Goal, name=st.just("g"),
+    requires=st.sets(st.sampled_from(["a", "b", "c", "d"]),
+                     min_size=1).map(tuple),
+    acceptable_burden=st.integers(min_value=1, max_value=12),
+    tolerates_administration=st.booleans(),
+    importance=unit)
+
+purposes = st.builds(
+    DesignPurpose, name=st.just("p"),
+    provides=st.sets(st.sampled_from(["a", "b", "c", "d"]),
+                     min_size=0).map(tuple),
+    demanded_burden=st.integers(min_value=1, max_value=12),
+    assumes_administration=st.booleans(),
+    intended_users=st.just("anyone"))
+
+
+@given(purposes, goals, faculty_profiles)
+@settings(max_examples=60, deadline=None)
+def test_harmony_score_bounds_and_coverage_cap(purpose, goal, user):
+    report = harmony(purpose, goal, user)
+    assert 0.0 <= report.coverage <= 1.0
+    assert 0.0 <= report.burden_fit <= 1.0
+    assert report.administration_fit in (0.0, 1.0)
+    assert 0.0 <= report.score <= 1.0
+    # Harmony never exceeds capability coverage.
+    assert report.score <= report.coverage + 1e-12
+    # in_harmony demands full coverage.
+    if report.in_harmony:
+        assert report.coverage == 1.0
+    adoption = adoption_probability(report, user)
+    assert 0.0 <= adoption <= 1.0
+
+
+@given(purposes, goals)
+@settings(max_examples=40, deadline=None)
+def test_full_provision_and_light_burden_is_harmonious(purpose, goal):
+    """A design that provides everything, demands one step, and assumes
+    nothing is in harmony with any goal."""
+    generous = DesignPurpose("p", provides=("a", "b", "c", "d"),
+                             demanded_burden=1,
+                             assumes_administration=False,
+                             intended_users="anyone")
+    report = harmony(generous, goal)
+    assert report.in_harmony

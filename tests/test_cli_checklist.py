@@ -1,0 +1,119 @@
+"""Tests for the CLI and the design-review checklist generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.checklist import (
+    GENERIC_QUESTIONS,
+    Checklist,
+    ChecklistItem,
+    build_checklist,
+)
+from repro.core.layers import Layer, RELATIONS
+from repro.core.model import LPCModel, smart_projector_model
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_figures_all(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    for i in range(1, 6):
+        assert f"Figure {i}" in out
+
+
+def test_cli_figures_single(capsys):
+    assert main(["figures", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "resource layer" in out
+
+
+def test_cli_figures_bad_number(capsys):
+    assert main(["figures", "9"]) == 2
+    assert "no figure 9" in capsys.readouterr().err
+
+
+def test_cli_experiments_lists(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "E1" in out and "E9" in out and "F1-F5" in out
+
+
+def test_cli_run_experiment(capsys):
+    assert main(["run", "E3-range-table"]) == 0
+    out = capsys.readouterr().out
+    assert "1Mbps" in out and "range_m" in out
+
+
+def test_cli_run_unknown(capsys):
+    assert main(["run", "E999"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_run_with_seed(capsys):
+    assert main(["run", "E4-hijack", "--seed", "5"]) == 0
+    assert "hijacks_succeeded" in capsys.readouterr().out
+
+
+def test_cli_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+# ---------------------------------------------------------------------------
+# Checklist
+# ---------------------------------------------------------------------------
+
+def test_checklist_covers_all_layers():
+    checklist = build_checklist(smart_projector_model())
+    for layer in Layer:
+        assert checklist.section(layer)
+
+
+def test_checklist_pairwise_questions_use_relations():
+    checklist = build_checklist(smart_projector_model())
+    paired = [item for item in checklist.items if item.entities]
+    assert paired
+    for item in paired:
+        assert "presenter" in item.entities
+        assert RELATIONS[item.layer] in item.question
+
+
+def test_checklist_pairs_only_shared_layers():
+    checklist = build_checklist(smart_projector_model())
+    # The laptop has no intentional facet, so no presenter/laptop pair at
+    # the intentional layer.
+    intentional_pairs = [item for item in checklist.section(Layer.INTENTIONAL)
+                         if "laptop" in item.entities]
+    assert intentional_pairs == []
+
+
+def test_checklist_generic_questions_present():
+    checklist = build_checklist(LPCModel("bare"))
+    total_generic = sum(len(qs) for qs in GENERIC_QUESTIONS.values())
+    assert len(checklist.items) == total_generic  # no entities -> no pairs
+
+
+def test_checklist_progress_and_findings():
+    checklist = build_checklist(LPCModel("bare"))
+    assert checklist.progress == 0.0
+    first = checklist.items[0]
+    first.resolve("tethered to the laptop")
+    assert checklist.progress > 0.0
+    assert checklist.findings() == [first]
+    assert len(checklist.open_items()) == len(checklist.items) - 1
+
+
+def test_checklist_render():
+    checklist = build_checklist(smart_projector_model())
+    checklist.items[0].resolve("a finding")
+    text = checklist.render()
+    assert "Design-review checklist" in text
+    assert "[x]" in text and "[ ]" in text
+    assert "finding: a finding" in text
+    for layer in Layer:
+        assert layer.title in text

@@ -1,0 +1,23 @@
+"""Run the doctest examples embedded in module/class docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.experiments.sweeps
+import repro.kernel.scheduler
+
+MODULES = [
+    repro.kernel.scheduler,
+    repro.experiments.sweeps,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0  # the examples actually exist

@@ -1,0 +1,128 @@
+"""Tests for world geometry and spatial queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.env.world import World
+from repro.kernel.errors import ConfigurationError
+
+
+def test_place_and_position(world):
+    world.place("a", (10.0, 20.0))
+    assert np.allclose(world.position_of("a"), [10.0, 20.0])
+
+
+def test_duplicate_name_rejected(world):
+    world.place("a", (0, 0))
+    with pytest.raises(ConfigurationError):
+        world.place("a", (1, 1))
+
+
+def test_unknown_entity_rejected(world):
+    with pytest.raises(ConfigurationError):
+        world.position_of("ghost")
+
+
+def test_positions_clipped_to_bounds(world):
+    world.place("a", (-5.0, 1e9))
+    x, y = world.position_of("a")
+    assert x == 0.0 and y == world.height
+
+
+def test_move(world):
+    world.place("a", (0, 0))
+    world.move("a", (5, 5))
+    assert np.allclose(world.position_of("a"), [5, 5])
+
+
+def test_invalid_extent_rejected():
+    with pytest.raises(ConfigurationError):
+        World(0, 10)
+    with pytest.raises(ConfigurationError):
+        World(10, -1)
+
+
+def test_bad_position_shape_rejected(world):
+    with pytest.raises(ConfigurationError):
+        world.place("a", (1, 2, 3))
+
+
+def test_distance_between_placements(world):
+    a = world.place("a", (0, 0))
+    b = world.place("b", (3, 4))
+    assert a.distance_to(b) == pytest.approx(5.0)
+
+
+def test_distances_from_vectorised(world):
+    world.place("origin", (0, 0))
+    world.place("b", (3, 4))
+    world.place("c", (6, 8))
+    dists = world.distances_from("origin", ["b", "c"])
+    assert np.allclose(dists, [5.0, 10.0])
+
+
+def test_distances_from_all_entities(world):
+    world.place("a", (0, 0))
+    world.place("b", (10, 0))
+    dists = world.distances_from("a")
+    assert len(dists) == 2  # includes self (clipped to minimum)
+
+
+def test_minimum_separation_enforced(world):
+    world.place("a", (5, 5))
+    world.place("b", (5, 5))
+    assert world.distances_from("a", ["b"])[0] == pytest.approx(0.1)
+
+
+def test_pairwise_distances_symmetric_zero_diagonal(world):
+    world.place("a", (0, 0))
+    world.place("b", (10, 0))
+    world.place("c", (0, 10))
+    matrix = world.pairwise_distances(["a", "b", "c"])
+    assert matrix.shape == (3, 3)
+    assert np.allclose(np.diag(matrix), 0.0)
+    assert np.allclose(matrix, matrix.T)
+    assert matrix[0, 1] == pytest.approx(10.0)
+
+
+def test_within_radius(world):
+    world.place("centre", (50, 30))
+    world.place("near", (52, 30))
+    world.place("far", (90, 30))
+    assert world.within("centre", 5.0) == ["near"]
+
+
+def test_placement_property_setter(world):
+    placement = world.place("a", (1, 1))
+    placement.position = (7, 7)
+    assert np.allclose(world.position_of("a"), [7, 7])
+
+
+def test_len_and_contains(world):
+    world.place("a", (0, 0))
+    assert len(world) == 1
+    assert "a" in world and "b" not in world
+    assert world.names() == ["a"]
+
+
+def test_distance_between_matches_vectorised(world):
+    world.place("a", (3, 4))
+    world.place("b", (30, 40))
+    scalar = world.distance_between("a", "b")
+    vector = float(world.distances_from("a", ["b"])[0])
+    assert scalar == pytest.approx(vector)
+    assert scalar == pytest.approx(45.0)
+
+
+def test_distance_between_min_clip(world):
+    world.place("a", (5, 5))
+    world.place("b", (5, 5))
+    assert world.distance_between("a", "b") == pytest.approx(0.1)
+
+
+def test_distance_between_unknown_entity(world):
+    world.place("a", (0, 0))
+    with pytest.raises(ConfigurationError):
+        world.distance_between("a", "ghost")

@@ -1,0 +1,98 @@
+"""Tests for the sweep utility and the all-in-one report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import _QUICK_OVERRIDES, build_report, run_all
+from repro.experiments.sweeps import averaged_over_seeds, grid, sweep
+from repro.kernel.errors import ExperimentError
+
+
+# ---------------------------------------------------------------------------
+# grid / sweep
+# ---------------------------------------------------------------------------
+
+def test_grid_cartesian_product():
+    points = grid(a=[1, 2], b=["x", "y"])
+    assert len(points) == 4
+    assert {"a": 2, "b": "y"} in points
+
+
+def test_grid_empty_rejected():
+    with pytest.raises(ExperimentError):
+        grid()
+
+
+def test_sweep_runs_every_point_and_seed():
+    calls = []
+
+    def run_one(seed, knob):
+        calls.append((seed, knob))
+        return {"value": knob * 10 + seed}
+
+    result = sweep("X", "t", run_one, grid(knob=[1, 2]), seeds=(0, 1))
+    assert len(result.rows) == 4
+    assert sorted(calls) == [(0, 1), (0, 2), (1, 1), (1, 2)]
+    assert result.column("value") == [10, 11, 20, 21]
+
+
+def test_sweep_column_selection():
+    result = sweep("X", "t", lambda seed, k: {"m": k, "junk": 0},
+                   grid(k=[3]), columns=("k", "m"))
+    assert result.columns == ["k", "m"]
+    assert result.rows[0] == {"k": 3, "m": 3}
+
+
+def test_sweep_deterministic_per_seed():
+    from repro.kernel.scheduler import Simulator
+
+    def run_one(seed, n):
+        sim = Simulator(seed=seed)
+        return {"draw": float(sim.rng("x").random()) + n}
+
+    a = sweep("X", "t", run_one, grid(n=[0]), seeds=(5,))
+    b = sweep("X", "t", run_one, grid(n=[0]), seeds=(5,))
+    assert a.rows == b.rows
+
+
+def test_averaged_over_seeds():
+    result = ExperimentResult("X", "t", ["seed", "knob", "metric"])
+    for seed in (0, 1):
+        for knob in (1, 2):
+            result.add_row(seed=seed, knob=knob, metric=knob * 10 + seed)
+    averaged = averaged_over_seeds(result, group_by=("knob",),
+                                   metrics=("metric",))
+    by_knob = {row["knob"]: row for row in averaged.rows}
+    assert by_knob[1]["mean_metric"] == pytest.approx(10.5)
+    assert by_knob[2]["mean_metric"] == pytest.approx(20.5)
+    assert by_knob[1]["replicates"] == 2
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+
+def test_quick_overrides_reference_real_experiments():
+    from repro.experiments import list_experiments
+
+    known = set(list_experiments())
+    assert set(_QUICK_OVERRIDES) <= known
+
+
+def test_run_all_subset():
+    results = run_all(only=["E4-hijack", "F1-F5"])
+    assert [r.experiment_id for r in results] == ["E4-hijack", "F1-F5"]
+
+
+def test_run_all_bad_budget():
+    with pytest.raises(ExperimentError):
+        run_all(budget="luxurious")
+
+
+def test_build_report_renders_sections():
+    text = build_report(only=["E3-range-table", "E4-hijack"])
+    assert "Reproduction report" in text
+    assert "E3-range-table" in text and "E4-hijack" in text
+    assert "wall time" in text

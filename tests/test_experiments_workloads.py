@@ -1,0 +1,111 @@
+"""Tests for the scenario builders in repro.experiments.workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.env.radio import RATE_BY_NAME
+from repro.experiments.workloads import (
+    interferer_field,
+    presentation_workflow,
+    projector_room,
+)
+
+
+def test_room_assembles_all_parts():
+    room = projector_room(seed=70)
+    assert room.laptop.networked and room.adapter.networked
+    assert room.adapter.projector is room.projector
+    assert room.registry.address == "hub"
+    assert room.client.laptop is room.laptop
+
+
+def test_room_registers_services_by_default():
+    room = projector_room(seed=71)
+    room.sim.run(until=3.0)
+    assert len(room.registry.items()) == 2
+
+
+def test_room_register_false_skips_registration():
+    room = projector_room(seed=72, register=False)
+    room.sim.run(until=3.0)
+    assert room.registry.items() == []
+
+
+def test_room_fixed_rate_applied():
+    rate = RATE_BY_NAME["2Mbps"]
+    room = projector_room(seed=73, fixed_rate=rate, register=False)
+    assert room.laptop.nic.mac.fixed_rate is rate
+    assert room.adapter.nic.mac.fixed_rate is rate
+
+
+def test_room_positions_respected():
+    room = projector_room(seed=74, register=False,
+                          laptop_pos=(3.0, 4.0), adapter_pos=(30.0, 20.0))
+    assert tuple(room.laptop.position) == (3.0, 4.0)
+    assert tuple(room.adapter.position) == (30.0, 20.0)
+
+
+def test_room_session_lease_options():
+    room = projector_room(seed=75, use_session_leases=False, register=False)
+    assert room.smart.projection_sessions.leases is None
+    room2 = projector_room(seed=75, session_lease_s=7.0, register=False)
+    assert room2.smart.projection_sessions.leases is not None
+
+
+def test_interferer_field_cochannel_plan():
+    room = projector_room(seed=76, register=False)
+    pairs = interferer_field(room, 4, channel_plan="cochannel")
+    assert len(pairs) == 4
+    assert all(p.sender.nic.channel == room.laptop.nic.channel
+               for p in pairs)
+
+
+def test_interferer_field_spread_plan():
+    room = projector_room(seed=77, register=False)
+    pairs = interferer_field(room, 6, channel_plan="spread")
+    channels = {p.sender.nic.channel for p in pairs}
+    assert channels == {1, 6, 11}
+
+
+def test_interferer_field_unknown_plan():
+    room = projector_room(seed=78, register=False)
+    with pytest.raises(ValueError):
+        interferer_field(room, 1, channel_plan="chaos")
+
+
+def test_interferers_generate_traffic():
+    room = projector_room(seed=79, register=False)
+    pairs = interferer_field(room, 2, frames_per_second=20.0)
+    room.sim.run(until=5.0)
+    for pair in pairs:
+        assert pair.sender.nic.mac.stats["tx_success"] > 50
+
+
+def test_presentation_workflow_happy_path_callback():
+    room = projector_room(seed=80)
+    outcomes = []
+    presentation_workflow(room, on_done=outcomes.append)
+    room.sim.run(until=15.0)
+    assert outcomes == [True]
+
+
+def test_presentation_workflow_fails_without_services():
+    room = projector_room(seed=81, register=False)  # nothing to discover
+    outcomes = []
+    presentation_workflow(room, on_done=outcomes.append)
+    room.sim.run(until=20.0)
+    assert outcomes == [False]
+
+
+def test_rooms_with_same_seed_are_identical():
+    def signature(seed):
+        room = projector_room(seed=seed)
+        presentation_workflow(room)
+        room.sim.run(until=20.0)
+        return (room.projector.frames_displayed,
+                room.sim.events_executed,
+                room.laptop.nic.mac.stats["tx_success"])
+
+    assert signature(99) == signature(99)
+    assert signature(99) != signature(100)

@@ -1,0 +1,142 @@
+"""Tests for named random streams and the structured tracer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernel.random import RandomStreams
+from repro.kernel.trace import TraceRecord, Tracer
+
+
+# ---------------------------------------------------------------------------
+# RandomStreams
+# ---------------------------------------------------------------------------
+
+def test_same_seed_same_stream():
+    a = RandomStreams(1).stream("mac")
+    b = RandomStreams(1).stream("mac")
+    assert a.random() == b.random()
+
+
+def test_different_names_independent():
+    streams = RandomStreams(1)
+    a = streams.stream("a").random(100)
+    b = streams.stream("b").random(100)
+    assert not np.allclose(a, b)
+
+
+def test_stream_identity_is_cached():
+    streams = RandomStreams(1)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_creation_order_does_not_matter():
+    s1 = RandomStreams(5)
+    s1.stream("alpha")
+    first = s1.stream("beta").random()
+
+    s2 = RandomStreams(5)
+    second = s2.stream("beta").random()  # created without alpha first
+    assert first == second
+
+
+def test_variance_isolation_draw_count():
+    """Consuming more numbers from one stream must not shift another."""
+    s1 = RandomStreams(9)
+    s1.stream("noisy").random(1000)
+    value_after_heavy_use = s1.stream("probe").random()
+
+    s2 = RandomStreams(9)
+    s2.stream("noisy").random(1)
+    value_after_light_use = s2.stream("probe").random()
+    assert value_after_heavy_use == value_after_light_use
+
+
+def test_names_listing():
+    streams = RandomStreams(0)
+    streams.stream("b")
+    streams.stream("a")
+    assert streams.names() == ["a", "b"]
+    assert "a" in streams and "zz" not in streams
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+def _record(time=0.0, category="mac.tx", source="nic", message="m", **data):
+    return TraceRecord(time, category, source, message, data)
+
+
+def test_tracer_stores_records():
+    tracer = Tracer()
+    tracer.emit(_record())
+    assert len(tracer) == 1
+
+
+def test_tracer_disabled_drops_records():
+    tracer = Tracer(enabled=False)
+    tracer.emit(_record())
+    assert len(tracer) == 0
+
+
+def test_category_prefix_matching():
+    record = _record(category="mac.tx")
+    assert record.matches("mac")
+    assert record.matches("mac.tx")
+    assert not record.matches("mac.t")
+    assert not record.matches("session")
+
+
+def test_select_by_prefix():
+    tracer = Tracer()
+    tracer.emit(_record(category="mac.tx"))
+    tracer.emit(_record(category="mac.rx"))
+    tracer.emit(_record(category="session.acquire"))
+    assert len(tracer.select("mac")) == 2
+    assert len(tracer.select("session")) == 1
+
+
+def test_issues_helper():
+    tracer = Tracer()
+    tracer.emit(_record(category="issue.session"))
+    tracer.emit(_record(category="mac.tx"))
+    assert len(tracer.issues()) == 1
+
+
+def test_subscription_delivers_matching_records():
+    tracer = Tracer()
+    got = []
+    tracer.subscribe("issue", got.append)
+    tracer.emit(_record(category="issue.vnc"))
+    tracer.emit(_record(category="mac.tx"))
+    assert len(got) == 1 and got[0].category == "issue.vnc"
+
+
+def test_unsubscribe_stops_delivery():
+    tracer = Tracer()
+    got = []
+    unsubscribe = tracer.subscribe("mac", got.append)
+    tracer.emit(_record(category="mac.tx"))
+    unsubscribe()
+    tracer.emit(_record(category="mac.tx"))
+    assert len(got) == 1
+
+
+def test_capacity_bounds_storage_and_counts_drops():
+    tracer = Tracer(capacity=2)
+    for i in range(5):
+        tracer.emit(_record(message=str(i)))
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+    # Head of the run is preserved.
+    assert [r.message for r in tracer.records] == ["0", "1"]
+
+
+def test_clear_resets():
+    tracer = Tracer(capacity=1)
+    tracer.emit(_record())
+    tracer.emit(_record())
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.dropped == 0

@@ -1,0 +1,125 @@
+"""Tests for fast fading and the extended projector control service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.env.radio import RATE_BY_NAME
+from repro.env.world import World
+from repro.kernel.scheduler import Simulator
+from repro.net.frames import Frame
+from repro.phys.mac import CsmaMac, WirelessMedium
+
+
+def _link(sim, fading: bool, distance: float = 60.0, rate="11Mbps"):
+    world = World(500, 50)
+    medium = WirelessMedium(sim, world, fast_fading=fading)
+    medium.propagation.shadowing_sigma_db = 0.0
+    world.place("a", (0, 25))
+    world.place("b", (distance, 25))
+    a = CsmaMac(sim, medium, "a", fixed_rate=RATE_BY_NAME[rate],
+                retry_limit=0, queue_limit=128)
+    CsmaMac(sim, medium, "b")
+    return medium, a
+
+
+def test_fading_disabled_marginal_link_is_stable():
+    sim = Simulator(seed=9, trace=False)
+    medium, a = _link(sim, fading=False, distance=60.0)
+    for _ in range(100):
+        a.send(Frame("a", "b", None, 1000))
+    sim.run(until=30.0)
+    # 60 m at 11 Mb/s without fading: comfortably above threshold.
+    assert a.stats["tx_success"] == 100
+
+
+def test_fading_introduces_losses_on_same_link():
+    sim = Simulator(seed=9, trace=False)
+    medium, a = _link(sim, fading=True, distance=60.0)
+    for _ in range(100):
+        a.send(Frame("a", "b", None, 1000))
+    sim.run(until=30.0)
+    # Deep Rayleigh fades kill a nontrivial fraction of frames.
+    assert a.stats["tx_success"] < 100
+    assert medium.total_decode_failures > 0
+
+
+def test_fading_rarely_hurts_strong_links():
+    sim = Simulator(seed=9, trace=False)
+    medium, a = _link(sim, fading=True, distance=5.0, rate="1Mbps")
+    for _ in range(100):
+        a.send(Frame("a", "b", None, 500))
+    sim.run(until=30.0)
+    assert a.stats["tx_success"] >= 97  # huge margin absorbs the fades
+
+
+# ---------------------------------------------------------------------------
+# Extended control service
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def controlled_room():
+    from repro.experiments.workloads import presentation_workflow, projector_room
+
+    room = projector_room(seed=91)
+    presentation_workflow(room)
+    room.sim.run(until=10.0)
+    return room
+
+
+def _call_control(room, method, args, token=None):
+    from repro.phys.devices import Device
+    from repro.services.base import RpcClient
+
+    caller = Device(room.sim, room.world,
+                    f"caller-{room.sim.events_executed}", (18, 13),
+                    medium=room.medium)
+    rpc = RpcClient(room.sim, caller, room.smart.control_item().proxy)
+    results = []
+    rpc.call(method, args, results.append, token=token)
+    room.sim.run(until=room.sim.now + 5.0)
+    return results[0]
+
+
+def test_brightness_requires_token(controlled_room):
+    room = controlled_room
+    result = _call_control(room, "brightness", {"level": 0.5},
+                           token="tok-bogus")
+    assert result.ok is False
+    result = _call_control(room, "brightness", {"level": 0.5},
+                           token=room.client.control_token)
+    assert result.ok and result.value == 0.5
+    assert room.projector.brightness == 0.5
+
+
+def test_brightness_clamped(controlled_room):
+    room = controlled_room
+    result = _call_control(room, "brightness", {"level": 5.0},
+                           token=room.client.control_token)
+    assert result.value == 1.0
+
+
+def test_select_input_switches_away_and_blanks_projection(controlled_room):
+    room = controlled_room
+    before = room.projector.frames_displayed
+    result = _call_control(room, "select_input", {"source": "vga-1"},
+                           token=room.client.control_token)
+    assert result.ok
+    # Pixels from the adapter no longer reach the wall.
+    assert not room.adapter.drive_display(500)
+    assert room.projector.frames_displayed == before
+
+
+def test_select_input_requires_source(controlled_room):
+    room = controlled_room
+    result = _call_control(room, "select_input", {"source": ""},
+                           token=room.client.control_token)
+    assert result.ok is False
+
+
+def test_status_reports_brightness_and_input(controlled_room):
+    room = controlled_room
+    result = _call_control(room, "status", {})
+    assert result.ok
+    assert "brightness" in result.value
+    assert result.value["input"] == "video-in"

@@ -1,0 +1,280 @@
+"""Tests for the wireless medium and CSMA/CA MAC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.env.radio import RATE_BY_NAME
+from repro.kernel.errors import ConfigurationError
+from repro.net.addresses import BROADCAST
+from repro.net.frames import Frame
+from repro.phys.mac import ACK_S, CsmaMac, PREAMBLE_S, WirelessMedium
+
+
+def _station(sim, world, medium, name, xy, **kwargs):
+    world.place(name, xy)
+    return CsmaMac(sim, medium, name, **kwargs)
+
+
+def test_attach_requires_placement(sim, world, medium):
+    with pytest.raises(ConfigurationError):
+        CsmaMac(sim, medium, "ghost")
+
+
+def test_duplicate_attach_rejected(sim, world, medium):
+    _station(sim, world, medium, "a", (0, 0))
+    with pytest.raises(ConfigurationError):
+        CsmaMac(sim, medium, "a")
+
+
+def test_unicast_delivery_close_range(sim, world, medium):
+    a = _station(sim, world, medium, "a", (10, 10))
+    b = _station(sim, world, medium, "b", (15, 10))
+    got = []
+    b.on_receive = got.append
+    a.send(Frame("a", "b", "hello", 100))
+    sim.run(until=1.0)
+    assert len(got) == 1
+    assert got[0].payload == "hello"
+    assert a.stats["tx_success"] == 1
+
+
+def test_no_delivery_out_of_range(sim, world, medium):
+    world2 = type(world)(10000, 100)
+    medium2 = WirelessMedium(sim, world2)
+    world2.place("a", (0, 50))
+    world2.place("b", (5000, 50))
+    a = CsmaMac(sim, medium2, "a")
+    b = CsmaMac(sim, medium2, "b")
+    got = []
+    b.on_receive = got.append
+    a.send(Frame("a", "b", None, 100))
+    sim.run(until=5.0)
+    assert got == []
+    assert a.stats["tx_retry_drops"] == 1
+
+
+def test_broadcast_reaches_all_cochannel(sim, world, medium):
+    a = _station(sim, world, medium, "a", (10, 10))
+    b = _station(sim, world, medium, "b", (12, 10))
+    c = _station(sim, world, medium, "c", (14, 10))
+    hits = []
+    b.on_receive = lambda f: hits.append("b")
+    c.on_receive = lambda f: hits.append("c")
+    a.send(Frame("a", BROADCAST, None, 64, kind="mgmt"))
+    sim.run(until=1.0)
+    assert sorted(hits) == ["b", "c"]
+
+
+def test_broadcast_not_heard_on_orthogonal_channel(sim, world, medium):
+    a = _station(sim, world, medium, "a", (10, 10), channel=1)
+    b = _station(sim, world, medium, "b", (12, 10), channel=11)
+    got = []
+    b.on_receive = got.append
+    a.send(Frame("a", BROADCAST, None, 64, kind="mgmt"))
+    sim.run(until=1.0)
+    assert got == []
+
+
+def test_unicast_to_other_channel_fails(sim, world, medium):
+    a = _station(sim, world, medium, "a", (10, 10), channel=1)
+    b = _station(sim, world, medium, "b", (12, 10), channel=11)
+    a.send(Frame("a", "b", None, 100))
+    sim.run(until=2.0)
+    assert b.stats["rx_frames"] == 0
+    assert a.stats["tx_retry_drops"] == 1
+
+
+def test_queue_limit_drops(sim, world, medium):
+    a = _station(sim, world, medium, "a", (10, 10), queue_limit=2)
+    _station(sim, world, medium, "b", (12, 10))
+    results = [a.send(Frame("a", "b", None, 1000)) for _ in range(5)]
+    assert results.count(False) >= 2
+    assert a.stats["queue_drops"] >= 2
+
+
+def test_queue_drains_in_order(sim, world, medium):
+    a = _station(sim, world, medium, "a", (10, 10))
+    b = _station(sim, world, medium, "b", (12, 10))
+    got = []
+    b.on_receive = lambda f: got.append(f.payload)
+    for i in range(5):
+        a.send(Frame("a", "b", i, 200))
+    sim.run(until=2.0)
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_rate_adaptation_close_picks_11mbps(sim, world, medium):
+    a = _station(sim, world, medium, "a", (10, 10))
+    _station(sim, world, medium, "b", (13, 10))
+    rate = a.select_rate(Frame("a", "b", None, 1000))
+    assert rate.name == "11Mbps"
+
+
+def test_rate_adaptation_far_picks_slower(sim, world, medium):
+    world2 = type(world)(500, 100)
+    medium2 = WirelessMedium(sim, world2)
+    medium2.propagation.shadowing_sigma_db = 0.0
+    world2.place("a", (0, 50))
+    world2.place("b", (150, 50))
+    a = CsmaMac(sim, medium2, "a")
+    CsmaMac(sim, medium2, "b")
+    rate = a.select_rate(Frame("a", "b", None, 1000))
+    assert rate.bits_per_second < 11e6
+
+
+def test_broadcast_uses_base_rate(sim, world, medium):
+    a = _station(sim, world, medium, "a", (10, 10))
+    rate = a.select_rate(Frame("a", BROADCAST, None, 64, kind="mgmt"))
+    assert rate.name == "1Mbps"
+
+
+def test_fixed_rate_respected(sim, world, medium):
+    pinned = RATE_BY_NAME["2Mbps"]
+    a = _station(sim, world, medium, "a", (10, 10), fixed_rate=pinned)
+    _station(sim, world, medium, "b", (12, 10))
+    assert a.select_rate(Frame("a", "b", None, 100)) is pinned
+
+
+def test_carrier_sense_defers(sim, world, medium):
+    """While one long transmission is on the air, a second sender backs off
+    instead of colliding (both are in carrier-sense range)."""
+    a = _station(sim, world, medium, "a", (10, 10))
+    b = _station(sim, world, medium, "b", (12, 10))
+    c = _station(sim, world, medium, "c", (14, 10))
+    got = []
+    c.on_receive = lambda f: got.append(f.src)
+    # a transmits a large frame; b tries during a's airtime.
+    a.send(Frame("a", "c", None, 1400))
+    b.send(Frame("b", "c", None, 1400))
+    sim.run(until=2.0)
+    assert sorted(got) == ["a", "b"]  # both eventually delivered
+    assert a.stats["tx_success"] == 1 and b.stats["tx_success"] == 1
+
+
+def test_half_duplex_self_busy(sim, world, medium):
+    a = _station(sim, world, medium, "a", (10, 10))
+    _station(sim, world, medium, "b", (12, 10))
+    a.send(Frame("a", "b", None, 1400))
+    sim.run(max_events=1)  # the DIFS-deferred attempt starts transmitting
+    assert medium.busy_for(a)
+
+
+def test_retry_limit_and_drop_issue(sim, world, medium):
+    world2 = type(world)(10000, 100)
+    medium2 = WirelessMedium(sim, world2)
+    world2.place("a", (0, 50))
+    world2.place("b", (9000, 50))
+    a = CsmaMac(sim, medium2, "a", retry_limit=2)
+    CsmaMac(sim, medium2, "b")
+    a.send(Frame("a", "b", None, 500))
+    sim.run(until=10.0)
+    assert a.stats["tx_retry_drops"] == 1
+    issues = sim.tracer.select("issue.radio")
+    assert len(issues) == 1
+
+
+def test_set_channel(sim, world, medium):
+    a = _station(sim, world, medium, "a", (10, 10))
+    a.set_channel(11)
+    assert a.channel == 11
+    with pytest.raises(ConfigurationError):
+        a.set_channel(13)
+
+
+def test_hidden_terminal_collisions(sim, world):
+    """Two low-power senders out of carrier-sense range of each other but
+    both audible at a middle receiver: decode failures occur."""
+    big = type(world)(200, 20)
+    medium2 = WirelessMedium(sim, big)
+    medium2.propagation.shadowing_sigma_db = 0.0
+    big.place("left", (0, 10))
+    big.place("right", (120, 10))
+    big.place("mid", (60, 10))
+    left = CsmaMac(sim, medium2, "left", tx_power_dbm=5.0)
+    right = CsmaMac(sim, medium2, "right", tx_power_dbm=5.0)
+    mid = CsmaMac(sim, medium2, "mid", tx_power_dbm=5.0)
+    # They cannot hear each other...
+    assert not medium2.busy_for(right)
+    # ...and both hammer the middle station with near-synchronous traffic.
+    sim.every(0.01, lambda: left.send(Frame("left", "mid", None, 1400)))
+    sim.every(0.0101, lambda: right.send(Frame("right", "mid", None, 1400)))
+    sim.run(until=5.0)
+    assert medium2.total_decode_failures > 0
+
+
+def test_airtime_accounting(sim, world, medium):
+    a = _station(sim, world, medium, "a", (10, 10))
+    _station(sim, world, medium, "b", (12, 10))
+    frame = Frame("a", "b", None, 1000)
+    expected_airtime = frame.airtime(11e6, PREAMBLE_S) + ACK_S + 10e-6
+    a.send(frame)
+    sim.run(until=1.0)
+    assert a.stats["busy_time"] == pytest.approx(expected_airtime, rel=0.01)
+
+
+def test_promiscuous_station_overhears_unicast(sim, world, medium):
+    a = _station(sim, world, medium, "a", (10, 10))
+    b = _station(sim, world, medium, "b", (14, 10))
+    snoop = _station(sim, world, medium, "snoop", (12, 10))
+    snoop.promiscuous = True
+    overheard = []
+    snoop.on_receive = overheard.append
+    a.send(Frame("a", "b", "secret", 100))
+    sim.run(until=1.0)
+    assert len(overheard) == 1
+    assert overheard[0].dst == "b"
+    # The intended receiver still gets it normally.
+    assert b.stats["rx_frames"] == 1
+
+
+def test_promiscuous_acks_offsegment_destination(sim, world, medium):
+    """A frame to an address not on the medium is 'delivered' when a
+    promiscuous bridge picks it up (the AP acks for the wired side)."""
+    a = _station(sim, world, medium, "a", (10, 10))
+    ap = _station(sim, world, medium, "ap", (12, 10))
+    ap.promiscuous = True
+    a.send(Frame("a", "wired-server", None, 100))
+    sim.run(until=1.0)
+    assert a.stats["tx_success"] == 1
+    assert ap.stats["rx_frames"] == 1
+
+
+def test_non_promiscuous_never_overhears(sim, world, medium):
+    a = _station(sim, world, medium, "a", (10, 10))
+    _station(sim, world, medium, "b", (14, 10))
+    bystander = _station(sim, world, medium, "bystander", (12, 10))
+    got = []
+    bystander.on_receive = got.append
+    a.send(Frame("a", "b", None, 100))
+    sim.run(until=1.0)
+    assert got == []
+
+
+def test_channel_airtime_survey(sim, world, medium):
+    a = _station(sim, world, medium, "a", (10, 10), channel=6)
+    _station(sim, world, medium, "b", (12, 10), channel=6)
+    for _ in range(5):
+        a.send(Frame("a", "b", None, 1000))
+    sim.run(until=2.0)
+    assert medium.channel_airtime.get(6, 0.0) > 0.0
+    assert medium.channel_airtime.get(1, 0.0) == 0.0
+
+
+def test_scan_and_select_moves_off_congested_channel(sim, world, medium):
+    a = _station(sim, world, medium, "a", (10, 10), channel=6)
+    b = _station(sim, world, medium, "b", (12, 10), channel=6)
+    jammer = _station(sim, world, medium, "jam", (20, 10), channel=6)
+    _station(sim, world, medium, "jam-rx", (22, 10), channel=6)
+    sim.every(0.01, lambda: jammer.send(Frame("jam", "jam-rx", None, 1400)))
+    sim.run(until=5.0)
+    choice = a.scan_and_select()
+    assert choice != 6
+    assert a.channel == choice
+    # Retune is traced for the analysis layer.
+    assert sim.tracer.select("mac.retune")
+
+
+def test_scan_on_quiet_band_keeps_lowest_channel(sim, world, medium):
+    a = _station(sim, world, medium, "a", (10, 10), channel=1)
+    assert a.scan_and_select() == 1

@@ -1,0 +1,120 @@
+"""Tests for fault injection, diagnostics and human repair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import projector_room
+from repro.kernel.errors import ConfigurationError
+from repro.services.errorsvc import (
+    DiagnosticsAgent,
+    FaultInjector,
+    human_repair_model,
+)
+
+
+def test_wedge_adapter_stops_reception():
+    room = projector_room(seed=30, register=False)
+    injector = FaultInjector(room.sim)
+    injector.wedge_adapter(room.adapter)
+    room.laptop.nic.send("adapter", None, 100)
+    room.sim.run(until=5.0)
+    assert room.adapter.nic.mac.stats["rx_frames"] == 0
+    assert len(injector.outstanding()) == 1
+
+
+def test_double_wedge_rejected():
+    room = projector_room(seed=31, register=False)
+    injector = FaultInjector(room.sim)
+    injector.wedge_adapter(room.adapter)
+    with pytest.raises(ConfigurationError):
+        injector.wedge_adapter(room.adapter)
+
+
+def test_repair_restores_function():
+    room = projector_room(seed=32, register=False)
+    injector = FaultInjector(room.sim)
+    fault = injector.wedge_adapter(room.adapter)
+    injector.repair(fault, "test")
+    before = room.adapter.nic.mac.stats["rx_frames"]
+    room.laptop.nic.send("adapter", None, 100)
+    room.sim.run(until=5.0)
+    assert room.adapter.nic.mac.stats["rx_frames"] >= before + 1
+    assert fault.outage is not None and fault.repaired_by == "test"
+
+
+def test_kill_registry_blocks_lookups():
+    room = projector_room(seed=33)
+    room.sim.run(until=3.0)  # registration completes first
+    injector = FaultInjector(room.sim)
+    injector.kill_registry(room.registry)
+    results = []
+    from repro.discovery.records import ServiceTemplate
+
+    room.laptop_discovery.find(ServiceTemplate(), results.append)
+    room.sim.run(until=10.0)
+    assert results == [[]]  # timeout path: empty result
+
+
+def test_diagnostics_repairs_automatically():
+    room = projector_room(seed=34, register=False)
+    injector = FaultInjector(room.sim)
+    agent = DiagnosticsAgent(room.sim, injector, check_interval=1.0,
+                             repair_time=2.0, enabled=True)
+    fault = injector.jam_radio(room.laptop)
+    room.sim.run(until=10.0)
+    assert fault.repaired_at is not None
+    assert fault.repaired_by == "diagnostics"
+    assert fault.outage <= 5.0
+    assert agent.repairs == 1
+
+
+def test_disabled_diagnostics_leaves_fault():
+    room = projector_room(seed=35, register=False)
+    injector = FaultInjector(room.sim)
+    DiagnosticsAgent(room.sim, injector, enabled=False)
+    fault = injector.jam_radio(room.laptop)
+    room.sim.run(until=30.0)
+    assert fault.repaired_at is None
+
+
+def test_human_repair_skilled():
+    room = projector_room(seed=36, register=False)
+    injector = FaultInjector(room.sim)
+    fault = injector.jam_radio(room.laptop)
+    delay = human_repair_model(fault, injector, room.sim,
+                               technical_skill=0.9, base_time=60.0)
+    assert delay == pytest.approx(36.0)
+    room.sim.run(until=100.0)
+    assert fault.repaired_by == "human"
+
+
+def test_human_repair_unskilled_cannot():
+    room = projector_room(seed=37, register=False)
+    injector = FaultInjector(room.sim)
+    fault = injector.jam_radio(room.laptop)
+    delay = human_repair_model(fault, injector, room.sim,
+                               technical_skill=0.2)
+    assert delay is None
+    room.sim.run(until=200.0)
+    assert fault.repaired_at is None
+    assert any("lacks the skill" in r.message
+               for r in room.sim.tracer.select("issue.resource"))
+
+
+def test_diagnostics_does_not_double_repair():
+    room = projector_room(seed=38, register=False)
+    injector = FaultInjector(room.sim)
+    agent = DiagnosticsAgent(room.sim, injector, check_interval=0.5,
+                             repair_time=3.0)
+    injector.jam_radio(room.laptop)
+    room.sim.run(until=20.0)
+    assert agent.repairs == 1
+
+
+def test_faults_emit_issues():
+    room = projector_room(seed=39, register=False)
+    injector = FaultInjector(room.sim)
+    injector.wedge_adapter(room.adapter)
+    injector.jam_radio(room.laptop)
+    assert len(room.sim.tracer.select("issue.fault")) == 2

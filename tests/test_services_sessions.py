@@ -1,0 +1,116 @@
+"""Tests for session objects: hijack prevention and stale reclaim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.errors import SessionError
+from repro.services.sessions import SessionManager
+
+
+def test_acquire_and_holder(sim):
+    manager = SessionManager(sim, "projection")
+    session = manager.acquire("alice", 30.0)
+    assert manager.holder == "alice"
+    assert not manager.available
+    assert manager.validate(session.token)
+
+
+def test_second_acquire_denied_and_issue_logged(sim):
+    manager = SessionManager(sim, "projection")
+    manager.acquire("alice", 30.0)
+    with pytest.raises(SessionError):
+        manager.acquire("bob", 30.0)
+    assert manager.rejections == 1
+    assert len(sim.tracer.select("issue.session")) == 1
+
+
+def test_release_frees_resource(sim):
+    manager = SessionManager(sim, "projection")
+    session = manager.acquire("alice", 30.0)
+    assert manager.release(session.token)
+    assert manager.available
+    manager.acquire("bob", 30.0)  # no exception
+
+
+def test_release_with_wrong_token_fails(sim):
+    manager = SessionManager(sim, "projection")
+    manager.acquire("alice", 30.0)
+    assert not manager.release("tok-guess")
+    assert manager.holder == "alice"
+    assert manager.invalid_tokens >= 1
+
+
+def test_tokens_unguessable_across_sessions(sim):
+    manager = SessionManager(sim, "projection")
+    first = manager.acquire("alice", 30.0)
+    manager.release(first.token)
+    second = manager.acquire("bob", 30.0)
+    assert first.token != second.token
+    assert not manager.validate(first.token)  # old token now dead
+
+
+def test_lease_expiry_evicts_stale_session(sim):
+    manager = SessionManager(sim, "projection", use_leases=True,
+                             sweep_interval=0.5)
+    evicted = []
+    manager.on_evicted = lambda s: evicted.append(s.owner)
+    session = manager.acquire("forgetful", 5.0)
+    sim.run(until=10.0)
+    assert manager.available
+    assert evicted == ["forgetful"]
+    assert manager.evictions == 1
+    assert not manager.validate(session.token)
+    # The reclaim itself is an issue the LPC analysis can classify.
+    assert any("forgot to relinquish" in r.message
+               for r in sim.tracer.select("issue.session"))
+
+
+def test_no_leases_means_stuck_forever(sim):
+    manager = SessionManager(sim, "projection", use_leases=False)
+    manager.acquire("forgetful", 5.0)
+    sim.run(until=1000.0)
+    assert manager.holder == "forgetful"
+
+
+def test_renew_extends_session(sim):
+    manager = SessionManager(sim, "projection", sweep_interval=0.5)
+    session = manager.acquire("alice", 5.0)
+    task = sim.every(2.0, lambda: manager.renew(session.token))
+    sim.run(until=20.0)
+    task.cancel()
+    assert manager.holder == "alice"
+    sim.run(until=40.0)
+    assert manager.available  # expired once renewals stopped
+
+
+def test_renew_with_bad_token_fails(sim):
+    manager = SessionManager(sim, "projection")
+    manager.acquire("alice", 30.0)
+    assert not manager.renew("bogus")
+
+
+def test_force_release_by_admin(sim):
+    manager = SessionManager(sim, "projection", use_leases=False)
+    manager.acquire("stuck", 30.0)
+    assert manager.force_release("admin")
+    assert manager.available
+    assert manager.evictions == 1
+    assert not manager.force_release("admin")  # nothing held now
+
+
+def test_expired_token_invalid_even_before_sweep(sim):
+    manager = SessionManager(sim, "projection", sweep_interval=60.0)
+    session = manager.acquire("alice", 1.0)
+    sim.run(until=5.0)
+    # Lease expired at t=1 but no sweep ran yet: token must already fail.
+    assert not manager.validate(session.token)
+
+
+def test_stats_counters(sim):
+    manager = SessionManager(sim, "projection")
+    session = manager.acquire("a", 30.0)
+    manager.release(session.token)
+    session2 = manager.acquire("b", 30.0)
+    assert manager.acquisitions == 2
+    assert manager.releases == 1

@@ -1,0 +1,165 @@
+"""Tests for the VNC-like remote framebuffer protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.env.radio import RATE_BY_NAME
+from repro.phys.devices import AromaAdapter, DigitalProjector, Laptop
+from repro.services.content import Animation, SlideShow
+from repro.services.framebuffer import Framebuffer
+from repro.services.vnc import VNCServer, VNCViewer
+
+
+@pytest.fixture
+def rig(sim, world, medium):
+    laptop = Laptop(sim, world, "laptop", (10, 10), medium)
+    adapter = AromaAdapter(sim, world, "adapter", (20, 10), medium)
+    projector = DigitalProjector(sim, world, "beamer", (21, 10))
+    adapter.connect_projector(projector)
+    projector.power(True)
+    fb = Framebuffer(512, 384)
+    server = VNCServer(sim, laptop, fb)
+    viewer = VNCViewer(sim, adapter, "laptop", adapter.drive_display,
+                       target_fps=10.0, stall_timeout=1.0)
+    return laptop, adapter, projector, fb, server, viewer
+
+
+def test_update_flows_to_projector(sim, rig):
+    _laptop, _adapter, projector, fb, server, viewer = rig
+    server.start()
+    fb.touch_all()
+    viewer.start()
+    sim.run(until=3.0)
+    assert viewer.updates_received >= 1
+    assert projector.frames_displayed >= 1
+    assert viewer.bytes_received > 0
+
+
+def test_no_dirty_content_small_replies(sim, rig):
+    _l, _a, projector, _fb, server, viewer = rig
+    server.start()
+    viewer.start()
+    sim.run(until=3.0)
+    # Polls happen but carry no pixels; nothing is displayed.
+    assert viewer.updates_received >= 10
+    assert projector.frames_displayed == 0
+
+
+def test_incremental_updates_only_send_changes(sim, rig):
+    _l, _a, _p, fb, server, viewer = rig
+    server.start()
+    fb.touch_all()
+    viewer.start()
+    sim.run(until=2.0)
+    bytes_after_full = viewer.bytes_received
+    fb.touch_rect(0, 0, 32, 32)  # one tile
+    sim.run(until=4.0)
+    incremental = viewer.bytes_received - bytes_after_full
+    assert 0 < incremental < bytes_after_full / 4
+
+
+def test_viewer_stalls_when_server_not_started(sim, rig):
+    _l, _a, _p, _fb, server, viewer = rig
+    viewer.start()  # classic mistake: nobody started the server
+    sim.run(until=10.0)
+    assert viewer.stalls >= 1
+    assert viewer.updates_received == 0
+    issues = sim.tracer.select("issue.vnc")
+    assert issues
+
+
+def test_viewer_recovers_when_server_starts_late(sim, rig):
+    _l, _a, projector, fb, server, viewer = rig
+    fb.touch_all()
+    viewer.start()
+    sim.schedule(3.0, server.start)
+    sim.run(until=15.0)
+    assert viewer.updates_received >= 1
+    assert projector.frames_displayed >= 1
+
+
+def test_server_stop_closes_endpoint(sim, rig):
+    _l, _a, _p, _fb, server, viewer = rig
+    server.start()
+    server.stop()
+    assert not server.running
+    server.stop()  # idempotent
+    viewer.start()
+    sim.run(until=3.0)
+    assert viewer.updates_received == 0
+
+
+def test_viewer_stop_halts_polling(sim, rig):
+    _l, _a, _p, fb, server, viewer = rig
+    server.start()
+    viewer.start()
+    sim.run(until=2.0)
+    viewer.stop()
+    count = server.requests_served
+    sim.run(until=6.0)
+    assert server.requests_served <= count + 1  # at most one in-flight
+
+
+def test_polling_rate_capped_by_target_fps(sim, rig):
+    _l, _a, _p, _fb, server, viewer = rig
+    server.start()
+    viewer.start()
+    sim.run(until=5.0)
+    # 10 fps cap over 5 s: about 50 polls, certainly under 60.
+    assert viewer.updates_received <= 60
+
+
+def test_latency_recorded(sim, rig):
+    _l, _a, _p, fb, server, viewer = rig
+    server.start()
+    fb.touch_all()
+    viewer.start()
+    sim.run(until=3.0)
+    assert len(viewer.latency) >= 1
+    assert viewer.latency.summary().mean > 0.0
+
+
+def test_goodput_and_fps_accessors(sim, rig):
+    _l, _a, _p, fb, server, viewer = rig
+    server.start()
+    SlideShow(sim, fb, dwell_s=1.0).start()
+    viewer.start()
+    sim.run(until=10.0)
+    assert viewer.goodput_bps(10.0) > 0
+    assert viewer.achieved_fps(10.0) > 0
+    with pytest.raises(Exception):
+        viewer.achieved_fps(0.0)
+
+
+def test_animation_outpaces_slow_link(sim, world):
+    """At a pinned 1 Mb/s, animation content cannot be delivered at its
+    offered rate — the paper's 'prevents rapid animation'."""
+    from repro.phys.mac import WirelessMedium
+
+    medium = WirelessMedium(sim, world)
+    rate = RATE_BY_NAME["1Mbps"]
+    laptop = Laptop(sim, world, "laptop", (10, 10), medium, fixed_rate=rate)
+    adapter = AromaAdapter(sim, world, "adapter", (14, 10), medium,
+                           fixed_rate=rate)
+    projector = DigitalProjector(sim, world, "beamer", (15, 10))
+    adapter.connect_projector(projector)
+    projector.power(True)
+    fb = Framebuffer()
+    server = VNCServer(sim, laptop, fb)
+    server.start()
+    Animation(sim, fb, fps=15.0).start()
+    viewer = VNCViewer(sim, adapter, "laptop", adapter.drive_display,
+                       target_fps=15.0)
+    viewer.start()
+    sim.run(until=20.0)
+    assert viewer.achieved_fps(20.0) < 2.0  # nowhere near 15
+
+
+def test_viewer_parameter_validation(sim, rig):
+    laptop, adapter, _p, fb, _server, _viewer = rig
+    from repro.kernel.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        VNCViewer(sim, adapter, "laptop", lambda p: True, target_fps=0.0,
+                  port=99)

@@ -1,0 +1,206 @@
+"""Tests for mental models, conceptual burden and the intentional layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.errors import ConfigurationError
+from repro.resource.faculties import casual_user, researcher
+from repro.user.goals import (
+    DesignPurpose,
+    Goal,
+    adoption_probability,
+    commercial_product_purpose,
+    harmony,
+    presentation_goal,
+    research_goal,
+    research_prototype_purpose,
+)
+from repro.user.mental import (
+    MentalModel,
+    completion_probability,
+    concept_capacity,
+    step_success_probability,
+)
+
+
+# ---------------------------------------------------------------------------
+# MentalModel
+# ---------------------------------------------------------------------------
+
+def test_believe_and_recall(sim):
+    mental = MentalModel(sim, "alice", researcher())
+    mental.believe("projector.on", True)
+    assert mental.belief("projector.on") is True
+    assert mental.belief("unknown", "default") == "default"
+
+
+def test_observation_matching_belief_no_surprise(sim):
+    mental = MentalModel(sim, "alice", researcher())
+    mental.believe("lamp", True)
+    assert mental.observe("lamp", True)
+    assert mental.surprises == []
+
+
+def test_observation_contradiction_records_surprise_and_issue(sim):
+    mental = MentalModel(sim, "alice", researcher())
+    mental.believe("lamp", True)
+    assert not mental.observe("lamp", False)
+    assert len(mental.surprises) == 1
+    assert mental.belief("lamp") is False  # corrected
+    assert len(sim.tracer.select("issue.mental")) == 1
+
+
+def test_observation_of_unknown_key_adopted_silently(sim):
+    mental = MentalModel(sim, "alice", researcher())
+    assert mental.observe("new-fact", 42)
+    assert mental.belief("new-fact") == 42
+
+
+def test_consistency_fraction(sim):
+    mental = MentalModel(sim, "alice", researcher())
+    mental.believe("a", 1)
+    mental.believe("b", 2)
+    actual = {"a": 1, "b": 99, "c": 3}
+    assert mental.consistency(actual) == pytest.approx(1 / 3)
+
+
+def test_consistency_requires_state(sim):
+    mental = MentalModel(sim, "alice", researcher())
+    with pytest.raises(ConfigurationError):
+        mental.consistency({})
+
+
+def test_forget(sim):
+    mental = MentalModel(sim, "a", researcher())
+    mental.believe("x", 1)
+    mental.forget("x")
+    assert mental.belief("x") is None
+
+
+# ---------------------------------------------------------------------------
+# Conceptual burden
+# ---------------------------------------------------------------------------
+
+def test_capacity_higher_for_researchers():
+    assert concept_capacity(researcher()) > concept_capacity(casual_user())
+
+
+def test_capacity_grows_with_intuitiveness_and_consistency():
+    user = casual_user()
+    assert concept_capacity(user, 0.9) > concept_capacity(user, 0.1)
+    assert concept_capacity(user, 0.5, True) > concept_capacity(user, 0.5, False)
+
+
+def test_step_probability_decreases_with_burden():
+    user = casual_user()
+    values = [step_success_probability(n, user) for n in range(1, 13)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_step_probability_bounds():
+    for burden in (1, 6, 12):
+        p = step_success_probability(burden, researcher())
+        assert 0.0 < p < 1.0
+    with pytest.raises(ConfigurationError):
+        step_success_probability(0, researcher())
+
+
+def test_completion_collapses_beyond_capacity():
+    user = casual_user()
+    easy = completion_probability(2, user)
+    hard = completion_probability(12, user)
+    assert easy > 0.9
+    assert hard < 0.01
+
+
+def test_researchers_tolerate_more_burden():
+    assert completion_probability(8, researcher()) > \
+        completion_probability(8, casual_user())
+
+
+def test_retries_help_tolerant_users():
+    user = casual_user()
+    assert completion_probability(6, user, retries=3) >= \
+        completion_probability(6, user, retries=0)
+
+
+# ---------------------------------------------------------------------------
+# Goals and harmony
+# ---------------------------------------------------------------------------
+
+def test_goal_validation():
+    with pytest.raises(ConfigurationError):
+        Goal("empty", requires=())
+    with pytest.raises(ConfigurationError):
+        Goal("bad", requires=("x",), acceptable_burden=0)
+
+
+def test_purpose_validation():
+    with pytest.raises(ConfigurationError):
+        DesignPurpose("p", provides=("x",), demanded_burden=0,
+                      assumes_administration=False, intended_users="u")
+
+
+def test_prototype_in_harmony_with_researchers():
+    report = harmony(research_prototype_purpose(), research_goal(),
+                     researcher())
+    assert report.in_harmony
+    assert report.score == pytest.approx(1.0)
+
+
+def test_prototype_not_in_harmony_with_casual_users():
+    report = harmony(research_prototype_purpose(), presentation_goal(),
+                     casual_user())
+    assert not report.in_harmony
+    assert report.notes  # explains why
+
+
+def test_commercial_product_fixes_casual_harmony():
+    report = harmony(commercial_product_purpose(), presentation_goal(),
+                     casual_user())
+    assert report.in_harmony
+
+
+def test_commercial_product_loses_research_capability():
+    report = harmony(commercial_product_purpose(), research_goal(),
+                     researcher())
+    assert report.coverage < 1.0
+    assert not report.in_harmony
+
+
+def test_missing_capability_noted():
+    purpose = DesignPurpose("p", provides=("a",), demanded_burden=1,
+                            assumes_administration=False, intended_users="u")
+    goal = Goal("g", requires=("a", "b"))
+    report = harmony(purpose, goal)
+    assert report.coverage == pytest.approx(0.5)
+    assert any("missing" in note for note in report.notes)
+
+
+def test_administration_assumption_blocks_non_admins():
+    purpose = DesignPurpose("p", provides=("a",), demanded_burden=1,
+                            assumes_administration=True, intended_users="u")
+    goal = Goal("g", requires=("a",), tolerates_administration=False)
+    blocked = harmony(purpose, goal, casual_user())
+    assert blocked.administration_fit == 0.0
+    fine = harmony(purpose, goal, researcher())
+    assert fine.administration_fit == 1.0
+
+
+def test_burden_fit_ratio():
+    purpose = DesignPurpose("p", provides=("a",), demanded_burden=8,
+                            assumes_administration=False, intended_users="u")
+    goal = Goal("g", requires=("a",), acceptable_burden=4)
+    report = harmony(purpose, goal)
+    assert report.burden_fit == pytest.approx(0.5)
+
+
+def test_adoption_probability_ordering():
+    good = harmony(commercial_product_purpose(), presentation_goal(),
+                   casual_user())
+    bad = harmony(research_prototype_purpose(), presentation_goal(),
+                  casual_user())
+    assert adoption_probability(good, casual_user()) > \
+        adoption_probability(bad, casual_user())
+    assert 0.0 <= adoption_probability(bad, casual_user()) <= 1.0
