@@ -1,0 +1,26 @@
+# Convenience entry points for the reproduction.
+#
+#   make test   - tier-1 test suite
+#   make bench  - E10 kernel microbenchmarks (pytest-benchmark statistics),
+#                 then BENCH_*.json emission + the >20% regression gate
+#                 against benchmarks/baseline_kernel.json
+#   make bench-baseline - re-measure and overwrite the committed baseline
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-baseline
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/test_bench_kernel.py -q \
+		--benchmark-json=benchmarks/.bench_raw.json
+	$(PYTHON) -m repro.cli bench --raw benchmarks/.bench_raw.json
+
+bench-baseline:
+	$(PYTHON) -m pytest benchmarks/test_bench_kernel.py -q \
+		--benchmark-json=benchmarks/.bench_raw.json
+	$(PYTHON) -m repro.cli bench --raw benchmarks/.bench_raw.json \
+		--update-baseline

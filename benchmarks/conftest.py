@@ -14,15 +14,18 @@ import pytest
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
 
 
-@pytest.fixture(scope="session", autouse=True)
+@pytest.fixture(scope="session")
 def _fresh_results_file():
+    # Not autouse: truncation only happens when some test actually records
+    # a table, so kernel-only microbenchmark runs (``make bench``) leave
+    # the committed table dump alone.
     RESULTS_PATH.write_text("Regenerated tables and figures "
                             "(one section per benchmark)\n\n")
     yield
 
 
 @pytest.fixture
-def record_table():
+def record_table(_fresh_results_file):
     """Print an ExperimentResult and persist it to results.txt."""
 
     def _record(result) -> None:

@@ -10,11 +10,42 @@ from __future__ import annotations
 
 import pytest
 
+from repro.experiments.bench import calibration_spin
 from repro.experiments.workloads import interferer_field, projector_room
 from repro.kernel.scheduler import Simulator
 
 
+def test_machine_calibration(benchmark):
+    """Fixed pure-Python workload — the machine-speed reference the
+    regression gate uses to tell load swings from kernel regressions."""
+    total = benchmark(calibration_spin)
+    assert total > 0
+
+
 def test_kernel_event_throughput(benchmark):
+    """Throughput of the kernel hot path (``schedule_bound`` + free-list
+    pool) — the loop the MAC/radio layers actually drive."""
+
+    def run_events():
+        sim = Simulator(seed=1, trace=False)
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+            if counter[0] < 20_000:
+                sim.schedule_bound(0.001, tick)
+
+        sim.schedule_bound(0.0, tick)
+        sim.run()
+        return counter[0]
+
+    events = benchmark(run_events)
+    assert events == 20_000
+
+
+def test_kernel_public_schedule_throughput(benchmark):
+    """Throughput of the validated public ``schedule`` path."""
+
     def run_events():
         sim = Simulator(seed=1, trace=False)
         counter = [0]
@@ -30,6 +61,24 @@ def test_kernel_event_throughput(benchmark):
 
     events = benchmark(run_events)
     assert events == 20_000
+
+
+def test_kernel_cancellation_storm(benchmark):
+    """Mass-cancelled periodic tasks must not degrade the event loop —
+    exercises the cancellation counter + heap compaction."""
+
+    def run_storm():
+        sim = Simulator(seed=1, trace=False)
+        tasks = [sim.every(1.0, lambda: None) for _ in range(5_000)]
+        for task in tasks:
+            task.cancel()
+        survivors = [0]
+        sim.every(1.0, lambda: survivors.__setitem__(0, survivors[0] + 1))
+        sim.run(until=50.0)
+        return survivors[0]
+
+    fires = benchmark(run_storm)
+    assert fires == 50
 
 
 @pytest.mark.parametrize("pairs", [4, 16, 32])

@@ -7,6 +7,9 @@ Subcommands:
 * ``run <id> [--seed S]`` — run one experiment and print its table.
 * ``demo [--seed S] [--horizon T]`` — run the instrumented Smart Projector
   scenario and print the layered LPC report plus paper coverage.
+* ``bench`` — run the E10 kernel/sweep microbenchmarks, write
+  ``BENCH_kernel.json`` / ``BENCH_sweeps.json``, and fail when event
+  throughput regresses >20% against the committed baseline.
 """
 
 from __future__ import annotations
@@ -103,6 +106,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="subset of experiment ids")
     report.set_defaults(func=_cmd_report)
 
+    bench = sub.add_parser(
+        "bench", help="run perf microbenchmarks and write BENCH_*.json")
+    bench.add_argument("--out-dir", default="benchmarks",
+                       help="directory for BENCH_<name>.json files")
+    bench.add_argument("--baseline", default="benchmarks/baseline_kernel.json",
+                       help="committed baseline to gate against")
+    bench.add_argument("--raw", default=None,
+                       help="pytest --benchmark-json output to ingest for "
+                            "the kernel throughput figure")
+    bench.add_argument("--workers", type=int, default=4,
+                       help="worker count for the parallel sweep benchmark")
+    bench.add_argument("--repeats", type=int, default=5,
+                       help="repeats per kernel microbenchmark")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="rewrite the committed baseline instead of "
+                            "gating against it")
+    bench.set_defaults(func=_cmd_bench)
+
     return parser
 
 
@@ -111,6 +132,64 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     print(build_report(budget=args.budget, only=args.only))
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .experiments import bench
+
+    out_dir = pathlib.Path(args.out_dir)
+    baseline_path = pathlib.Path(args.baseline)
+
+    kernel = bench.bench_kernel(repeats=args.repeats)
+    if args.raw is not None:
+        # Prefer the statistics-grade pytest-benchmark numbers when the
+        # Makefile hands us its --benchmark-json dump.
+        raw_path = pathlib.Path(args.raw)
+        if not raw_path.exists():
+            print(f"error: --raw file not found: {raw_path}", file=sys.stderr)
+            return 2
+        raw = bench.kernel_metrics_from_pytest_json(raw_path)
+        if raw is not None:
+            kernel.update(raw)
+    kernel_path = bench.write_bench_json(out_dir, kernel)
+    print(f"kernel: {kernel['events_per_sec']:,.0f} events/sec "
+          f"(public schedule {kernel['events_per_sec_public_schedule']:,.0f})"
+          f" -> {kernel_path}")
+
+    sweeps = bench.bench_sweeps(workers=args.workers)
+    sweeps_path = bench.write_bench_json(out_dir, sweeps)
+    print(f"sweeps: serial {sweeps['serial_wall_s']:.2f}s, "
+          f"parallel({sweeps['workers']}) {sweeps['parallel_wall_s']:.2f}s, "
+          f"cache hit rate {sweeps['link_cache']['hit_rate']:.1%}"
+          f" -> {sweeps_path}")
+    if not sweeps["rows_identical"]:
+        print("error: parallel sweep rows differ from serial rows",
+              file=sys.stderr)
+        return 1
+
+    if args.update_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(kernel_path.read_text())
+        print(f"baseline updated -> {baseline_path}")
+        return 0
+
+    baseline = bench.load_baseline(baseline_path)
+    failures = bench.check_regression(kernel, baseline)
+    for failure in failures:
+        print(f"regression: {failure}", file=sys.stderr)
+    if not failures:
+        if baseline is None:
+            print("regression gate: skipped (no baseline; run "
+                  "`make bench-baseline` to create one)")
+        elif baseline.get("source") != kernel.get("source"):
+            print(f"regression gate: skipped (baseline source "
+                  f"{baseline.get('source')!r} != current "
+                  f"{kernel.get('source')!r})")
+        else:
+            print("regression gate: ok")
+    return 1 if failures else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -7,6 +7,7 @@ physical layer (:mod:`repro.phys`) must cope with it rather than engineer
 it away.
 """
 
+from .linkcache import LinkCache
 from .mobility import LinearMobility, Mobility, RandomWaypoint, StaticMobility
 from .noise import (
     TYPICAL_LEVELS_DB,
@@ -16,14 +17,17 @@ from .noise import (
 )
 from .radio import (
     NOISE_FLOOR_DBM,
+    NOISE_FLOOR_MW,
     RATE_BY_NAME,
     RATES,
     PropagationModel,
     RateMode,
     best_rate,
     dbm_to_mw,
+    interference_sum_mw,
     mw_to_dbm,
     sinr_db,
+    sinr_from_mw,
 )
 from .spectrum import (
     CHANNELS,
@@ -41,8 +45,10 @@ __all__ = [
     "AcousticField",
     "CHANNELS",
     "LinearMobility",
+    "LinkCache",
     "Mobility",
     "NOISE_FLOOR_DBM",
+    "NOISE_FLOOR_MW",
     "NON_OVERLAPPING",
     "NoiseSource",
     "ORTHOGONAL_SEPARATION",
@@ -59,10 +65,12 @@ __all__ = [
     "center_frequency_mhz",
     "combine_levels_db",
     "dbm_to_mw",
+    "interference_sum_mw",
     "least_congested",
     "mw_to_dbm",
     "overlap_factor",
     "overlap_matrix",
     "sinr_db",
+    "sinr_from_mw",
     "validate_channel",
 ]

@@ -31,20 +31,35 @@ from ..kernel.errors import ConfigurationError
 # Unit helpers
 # ---------------------------------------------------------------------------
 
-def dbm_to_mw(dbm: float) -> float:
-    """Convert dBm to milliwatts."""
+def dbm_to_mw(dbm):
+    """Convert dBm to milliwatts.
+
+    Scalar in, native ``float`` out; arrays convert elementwise and come
+    back as arrays.
+    """
+    if isinstance(dbm, (int, float)):
+        return 10.0 ** (float(dbm) / 10.0)
     return 10.0 ** (np.asarray(dbm) / 10.0)
 
 
-def mw_to_dbm(mw: float) -> float:
-    """Convert milliwatts to dBm (clipping at a -200 dBm floor)."""
+def mw_to_dbm(mw):
+    """Convert milliwatts to dBm (clipping at a -200 dBm floor).
+
+    Scalar in, native ``float`` out; arrays convert elementwise and come
+    back as arrays.
+    """
+    if isinstance(mw, (int, float)):
+        return 10.0 * math.log10(mw if mw > 1e-20 else 1e-20)
     mw = np.maximum(np.asarray(mw, dtype=np.float64), 1e-20)
     return 10.0 * np.log10(mw)
 
 
 #: Thermal noise floor for a 22 MHz 802.11b channel: -174 dBm/Hz + 10log10(22e6)
 #: + ~6 dB receiver noise figure.
-NOISE_FLOOR_DBM: float = -174.0 + 10.0 * np.log10(22e6) + 6.0  # ≈ -94.6 dBm
+NOISE_FLOOR_DBM: float = float(-174.0 + 10.0 * np.log10(22e6) + 6.0)  # ≈ -94.6 dBm
+
+#: The same floor in linear milliwatts, precomputed for the SINR hot path.
+NOISE_FLOOR_MW: float = dbm_to_mw(NOISE_FLOOR_DBM)
 
 
 @dataclass(frozen=True)
@@ -68,14 +83,24 @@ class RateMode:
         return 0.5 * special.erfc(np.sqrt(np.maximum(ebn0, 0.0)))
 
     def fer(self, sinr_db: float, frame_bytes: int) -> float:
-        """Frame error rate for a frame of ``frame_bytes`` at ``sinr_db``."""
-        sinr_linear = dbm_to_mw(sinr_db)  # same conversion: dB -> linear
-        ber = float(self.ber(np.asarray(sinr_linear)))
-        bits = 8 * int(frame_bytes)
+        """Frame error rate for a frame of ``frame_bytes`` at ``sinr_db``.
+
+        Pure-``math`` scalar path: this runs once per decode attempt in the
+        medium hot loop, where the 0-d NumPy round-trip of :meth:`ber` costs
+        more than the arithmetic itself.
+        """
+        ebn0 = dbm_to_mw(sinr_db) * self.processing_gain  # dB -> linear
+        if ebn0 < 0.0:
+            ebn0 = 0.0
+        if self.modulation == "dpsk":
+            ber = 0.5 * math.exp(-ebn0)
+        else:
+            ber = 0.5 * math.erfc(math.sqrt(ebn0))
         if ber <= 0.0:
             return 0.0
+        bits = 8 * int(frame_bytes)
         # log1p formulation keeps precision for tiny BERs.
-        return float(1.0 - np.exp(bits * np.log1p(-min(ber, 0.5))))
+        return 1.0 - math.exp(bits * math.log1p(-min(ber, 0.5)))
 
 
 #: The 802.11b rate set, ordered slowest to fastest.
@@ -134,6 +159,12 @@ class PropagationModel:
         d = np.maximum(np.asarray(distance_m, dtype=np.float64), 0.1)
         return self.reference_loss_db + 10.0 * self.exponent * np.log10(d)
 
+    def path_loss_scalar_db(self, distance_m: float) -> float:
+        """Scalar path loss in dB — the no-NumPy twin of :meth:`path_loss_db`
+        used by the link cache and the single-link fast path."""
+        d = distance_m if distance_m > 0.1 else 0.1
+        return self.reference_loss_db + 10.0 * self.exponent * math.log10(d)
+
     def shadowing_db(self, tx: str, rx: str) -> float:
         """Frozen shadowing term for the (unordered) pair ``{tx, rx}``."""
         if self.shadowing_sigma_db == 0.0:
@@ -149,11 +180,10 @@ class PropagationModel:
                            tx: str = "", rx: str = "") -> float:
         """Received power for one link, including frozen shadowing.
 
-        Scalar fast path (no array round-trip): this is the single hottest
-        function in dense-medium sweeps.
+        Scalar fast path (no array round-trip); the medium additionally
+        caches this per pair via :class:`repro.env.linkcache.LinkCache`.
         """
-        d = distance_m if distance_m > 0.1 else 0.1
-        loss = self.reference_loss_db + 10.0 * self.exponent * math.log10(d)
+        loss = self.path_loss_scalar_db(distance_m)
         shadow = self.shadowing_db(tx, rx) if tx and rx else 0.0
         return tx_power_dbm - loss - shadow
 
@@ -194,6 +224,24 @@ class PropagationModel:
         return lo
 
 
+def sinr_from_mw(signal_mw: float, interference_mw: float,
+                 noise_mw: float = NOISE_FLOOR_MW) -> float:
+    """SINR in dB from already-linear powers (the hot-path entry point).
+
+    The medium accumulates the interference sum in milliwatts (cached link
+    gains times transmit powers), so this is one divide and one log.
+    """
+    ratio = signal_mw / (noise_mw + interference_mw)
+    return 10.0 * math.log10(ratio if ratio > 1e-20 else 1e-20)
+
+
+def interference_sum_mw(interferer_dbm: np.ndarray,
+                        overlap: np.ndarray) -> float:
+    """Overlap-weighted interference sum in mW — one vectorised NumPy pass
+    over all interferers (E2's 64-interferer sweeps land here)."""
+    return float(np.sum(10.0 ** (interferer_dbm / 10.0) * overlap))
+
+
 def sinr_db(signal_dbm: float, interferer_dbm: Sequence[float],
             overlap: Optional[Sequence[float]] = None,
             noise_floor_dbm: float = NOISE_FLOOR_DBM) -> float:
@@ -213,6 +261,6 @@ def sinr_db(signal_dbm: float, interferer_dbm: Sequence[float],
                    else np.asarray(list(overlap), dtype=np.float64))
         if factors.shape != interferers.shape:
             raise ConfigurationError("overlap length must match interferers")
-        interference_mw = float(np.sum(dbm_to_mw(interferers) * factors))
-    denominator = dbm_to_mw(noise_floor_dbm) + interference_mw
-    return float(mw_to_dbm(dbm_to_mw(signal_dbm) / denominator))
+        interference_mw = interference_sum_mw(interferers, factors)
+    return sinr_from_mw(dbm_to_mw(signal_dbm), interference_mw,
+                        dbm_to_mw(noise_floor_dbm))

@@ -45,16 +45,25 @@ def validate_channel(channel: int) -> int:
     return channel
 
 
+_OVERLAP_MEMO: dict = {}
+
+
 def overlap_factor(channel_a: int, channel_b: int) -> float:
     """Fraction of channel_b's power that lands in channel_a's passband.
 
     1.0 for co-channel, linearly decreasing to 0.0 at a separation of
-    :data:`ORTHOGONAL_SEPARATION` channels.  Symmetric.
+    :data:`ORTHOGONAL_SEPARATION` channels.  Symmetric.  Memoised — the
+    medium asks for the same few pairs once per carrier-sense poll and per
+    interferer, and the band plan has at most 121 of them.
     """
-    validate_channel(channel_a)
-    validate_channel(channel_b)
-    separation = abs(channel_a - channel_b)
-    return max(0.0, 1.0 - separation / ORTHOGONAL_SEPARATION)
+    factor = _OVERLAP_MEMO.get((channel_a, channel_b))
+    if factor is None:
+        validate_channel(channel_a)
+        validate_channel(channel_b)
+        separation = abs(channel_a - channel_b)
+        factor = max(0.0, 1.0 - separation / ORTHOGONAL_SEPARATION)
+        _OVERLAP_MEMO[(channel_a, channel_b)] = factor
+    return factor
 
 
 def overlap_matrix(channels: Iterable[int]) -> np.ndarray:

@@ -66,8 +66,19 @@ class World:
         self._positions = np.empty((0, 2), dtype=np.float64)
         self._names: List[str] = []
         self._index: Dict[str, int] = {}
+        self._epoch: int = 0
 
     # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Topology epoch: bumped on every placement or move.
+
+        Consumers that cache anything derived from positions (the radio
+        link cache, spatial indexes) key their cache on this counter and
+        invalidate when it changes.
+        """
+        return self._epoch
+
     def place(self, name: str, xy: Sequence[float]) -> Placement:
         """Add an entity at ``xy``; names must be unique."""
         if name in self._index:
@@ -76,12 +87,14 @@ class World:
         self._index[name] = len(self._names)
         self._names.append(name)
         self._positions = np.vstack([self._positions, pos[None, :]])
+        self._epoch += 1
         return Placement(name, self, self._index[name])
 
     def move(self, name: str, xy: Sequence[float]) -> None:
         """Teleport entity ``name`` to ``xy`` (clipped to the world bounds)."""
         idx = self._lookup(name)
         self._positions[idx] = self._clip(np.asarray(xy, dtype=np.float64))
+        self._epoch += 1
 
     def position_of(self, name: str) -> np.ndarray:
         return self._positions[self._lookup(name)].copy()

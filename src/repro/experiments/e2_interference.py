@@ -11,10 +11,12 @@ of the loss.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Sequence
 
 from ..metrics.stats import jains_fairness
 from .harness import ExperimentResult, experiment
+from .sweeps import sweep
 from .workloads import interferer_field, projector_room
 
 
@@ -51,25 +53,40 @@ def _measure_density(pairs: int, channel_plan: str, seed: int,
     }
 
 
+def _measure_density_row(seed: int, pairs: int, channel_plan: str,
+                         duration: float = 20.0, offered_fps: float = 150.0,
+                         frame_bytes: int = 1000) -> dict:
+    """``sweep``-shaped wrapper around :func:`_measure_density` (module
+    level so parallel workers can reach it)."""
+    return _measure_density(pairs, channel_plan, seed, duration,
+                            offered_fps, frame_bytes)
+
+
 @experiment("E2")
 def run(densities: Sequence[int] = (0, 2, 4, 8, 16, 32),
         duration: float = 20.0, seed: int = 2,
         offered_fps: float = 150.0, frame_bytes: int = 1000,
-        channel_plans: Sequence[str] = ("cochannel", "spread")) -> ExperimentResult:
+        channel_plans: Sequence[str] = ("cochannel", "spread"),
+        workers: int = 0) -> ExperimentResult:
     """Goodput/loss vs interferer density, co-channel vs spread plans.
 
     The measured link offers ~1.2 Mb/s; each interferer pair offers
     ~0.4 Mb/s, so a handful of co-channel pairs saturates the cell.
+
+    Each (plan, density) point is one independent simulation, so the sweep
+    parallelises across ``workers`` processes with identical output.
     """
-    result = ExperimentResult(
+    points = [{"pairs": pairs, "channel_plan": plan}
+              for plan in channel_plans for pairs in densities]
+    result = sweep(
         "E2", "effect of 2.4 GHz device concentration on one link",
-        ["interferer_pairs", "channel_plan", "delivery_ratio",
-         "goodput_kbps", "queue_drops", "retry_drops", "backoffs_per_frame",
-         "fairness"])
-    for plan in channel_plans:
-        for pairs in densities:
-            result.add_row(**_measure_density(pairs, plan, seed, duration,
-                                              offered_fps, frame_bytes))
+        partial(_measure_density_row, duration=duration,
+                offered_fps=offered_fps, frame_bytes=frame_bytes),
+        points, seeds=(seed,),
+        columns=["interferer_pairs", "channel_plan", "delivery_ratio",
+                 "goodput_kbps", "queue_drops", "retry_drops",
+                 "backoffs_per_frame", "fairness"],
+        workers=workers)
     result.notes.append(
         "paper: high concentration of 2.4 GHz devices degrades operation; "
         "non-overlapping channel plan (1/6/11) is the classic mitigation")

@@ -5,12 +5,22 @@ vary; the kernel's named RNG streams give that per-component, and this
 module gives it per-*configuration*: :func:`sweep` runs a factory across a
 parameter grid with the same seed set, collecting rows into one
 :class:`~repro.experiments.harness.ExperimentResult`.
+
+``sweep(..., workers=N)`` fans the (point, seed) pairs across
+``multiprocessing`` workers.  Each pair is an independent simulation with
+its own seed, so the fan-out is embarrassingly parallel; rows are
+reassembled in task-submission order, which makes the parallel result
+*identical* to the serial one — same rows, same order.  The pool uses the
+``fork`` start method (workers inherit ``run_one`` by address space, so
+closures and lambdas work); on platforms without ``fork`` the sweep
+silently falls back to the serial path.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+import multiprocessing
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from ..kernel.errors import ExperimentError
 from .harness import ExperimentResult
@@ -31,23 +41,68 @@ def grid(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
     return out
 
 
+# ---------------------------------------------------------------------------
+# Worker plumbing.  ``run_one`` reaches the workers by fork inheritance (the
+# initializer runs after the fork, so nothing about it is pickled); only the
+# (index, seed, point) tasks and the measured row dicts cross the pipe.
+# ---------------------------------------------------------------------------
+
+_WORKER_RUN_ONE: List[Callable[..., Mapping[str, Any]]] = []
+
+
+def _init_worker(run_one: Callable[..., Mapping[str, Any]]) -> None:
+    _WORKER_RUN_ONE[:] = [run_one]
+
+
+def _run_task(task: Tuple[int, int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any]]:
+    index, seed, point = task
+    return index, dict(_WORKER_RUN_ONE[0](seed=seed, **point))
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
 def sweep(experiment_id: str, title: str,
           run_one: Callable[..., Mapping[str, Any]],
           points: Iterable[Mapping[str, Any]],
           seeds: Sequence[int] = (0,),
-          columns: Sequence[str] = ()) -> ExperimentResult:
+          columns: Sequence[str] = (),
+          workers: int = 0) -> ExperimentResult:
     """Run ``run_one(seed=..., **point)`` over every (point, seed) pair.
 
     ``run_one`` returns a row dict; the parameter point and seed are merged
     in (point values win on key clashes so callers can rename).  Columns
     default to the union of keys in first-row order.
+
+    Args:
+        workers: fan the pairs across this many ``multiprocessing`` workers
+            (0 or 1 = serial).  ``run_one`` must be deterministic given its
+            seed; rows come back in the same order as the serial path.
     """
-    rows: List[Dict[str, Any]] = []
+    tasks: List[Tuple[int, int, Dict[str, Any]]] = []
     for point in points:
         for seed in seeds:
-            measured = dict(run_one(seed=seed, **point))
-            row = {"seed": seed, **point, **measured}
-            rows.append(row)
+            tasks.append((len(tasks), seed, dict(point)))
+
+    if workers > 1 and len(tasks) > 1 and _fork_available():
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(min(workers, len(tasks)),
+                      initializer=_init_worker,
+                      initargs=(run_one,)) as pool:
+            measured_by_index = dict(pool.map(_run_task, tasks, chunksize=1))
+    else:
+        measured_by_index = {index: dict(run_one(seed=seed, **point))
+                             for index, seed, point in tasks}
+
+    rows: List[Dict[str, Any]] = []
+    for index, seed, point in tasks:
+        row: Dict[str, Any] = {"seed": seed}
+        row.update(point)
+        for key, value in measured_by_index[index].items():
+            if key not in row:
+                row[key] = value
+        rows.append(row)
     if not rows:
         raise ExperimentError("sweep produced no rows")
     if not columns:

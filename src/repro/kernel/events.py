@@ -32,9 +32,17 @@ class Event:
 
     Instances are created by :meth:`repro.kernel.scheduler.Simulator.schedule`
     and friends; user code normally only keeps them to :meth:`cancel`.
+
+    ``pooled`` events come from the scheduler's free list (the
+    ``schedule_bound`` fast path); no handle to them ever escapes the
+    scheduler, so they can be recycled after firing.  ``owner`` points back
+    at the scheduler while the event sits in the queue so cancellation can
+    maintain an exact dead-entry count for O(1) ``pending()`` and
+    threshold-triggered heap compaction.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled",
+                 "pooled", "owner")
 
     def __init__(
         self,
@@ -50,19 +58,28 @@ class Event:
         self.fn: Optional[Callable[..., Any]] = fn
         self.args = args
         self.cancelled = False
+        self.pooled = False
+        self.owner: Optional[Any] = None
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it.
 
         Cancelling is O(1); the dead entry is discarded lazily when it
-        reaches the head of the heap.  Cancelling an already-fired or
-        already-cancelled event is a no-op.
+        reaches the head of the heap, or in bulk when dead entries come to
+        dominate the queue.  Cancelling an already-fired or already-cancelled
+        event is a no-op.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references eagerly so cancelled closures do not pin objects
         # (NICs, frames, sessions) until the heap drains.
         self.fn = None
         self.args = ()
+        owner = self.owner
+        if owner is not None:
+            self.owner = None
+            owner._note_cancel()
 
     # Heap ordering -----------------------------------------------------
     def sort_key(self) -> tuple:

@@ -11,7 +11,12 @@ optimise the bottleneck" workflow):
 * The hot path is ``heapq`` push/pop of small ``Event`` objects with
   ``__slots__`` — profiling showed object allocation dominates, so events
   carry pre-bound args instead of closures where the callers are hot
-  (the MAC and radio layers).
+  (the MAC and radio layers), and the :meth:`Simulator.schedule_bound`
+  fast path recycles events through a free list (no handle escapes, so
+  reuse is safe).
+* Bulk cancellation (periodic tasks, retry timers) is O(1) per cancel and
+  triggers a heap compaction once dead entries outnumber live ones, so
+  ``run``/``peek``/``pending`` never degrade to O(dead events).
 * Determinism: ties are broken by ``(priority, seq)``; all randomness flows
   through :class:`repro.kernel.random.RandomStreams`.
 """
@@ -25,6 +30,17 @@ from .errors import ScheduleError, SimulationFinished
 from .events import Event, Priority
 from .random import RandomStreams
 from .trace import TraceRecord, Tracer
+
+#: Upper bound on the event free list; beyond this, fired pooled events are
+#: simply dropped for the GC.  Large enough for the densest MAC workloads
+#: (every in-flight transmission holds at most a handful of timers).
+FREE_LIST_CAP: int = 4096
+
+#: Minimum queue size before cancellation-triggered compaction kicks in —
+#: below this, the lazy pop-at-head discard is always cheap enough.
+COMPACT_MIN_QUEUE: int = 64
+
+_PROTOCOL = int(Priority.PROTOCOL)
 
 
 class Simulator:
@@ -57,6 +73,12 @@ class Simulator:
         self._seq: int = 0
         self._running = False
         self._stopped = False
+        #: free list of recyclable (pooled) events for the fast path.
+        self._free: List[Event] = []
+        #: exact count of cancelled events still sitting in the queue.
+        self._cancelled_count: int = 0
+        #: number of threshold-triggered heap compactions (observability).
+        self.compactions: int = 0
         self.streams = RandomStreams(seed)
         self.tracer = Tracer(enabled=trace, capacity=trace_capacity)
         self.events_executed: int = 0
@@ -82,7 +104,13 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ScheduleError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, fn, *args, priority=priority)
+        if self._stopped:
+            raise SimulationFinished("simulator has been stopped")
+        event = Event(self._now + delay, priority, self._seq, fn, args)
+        event.owner = self
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
 
     def schedule_at(
         self,
@@ -99,9 +127,43 @@ class Simulator:
                 f"cannot schedule at {time!r}, now is {self._now!r}"
             )
         event = Event(time, priority, self._seq, fn, args)
+        event.owner = self
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
+
+    def schedule_bound(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        priority: int = _PROTOCOL,
+    ) -> None:
+        """Fast-path scheduling for hot inner loops (MAC/radio timers).
+
+        Skips the per-call validation of :meth:`schedule` (the callers pass
+        non-negative protocol constants) and recycles :class:`Event` objects
+        through a free list.  No handle is returned — fast-path events cannot
+        be cancelled — which is exactly what makes recycling safe: no caller
+        can hold a stale reference to a reused event.
+
+        ``args`` is passed as a tuple rather than ``*args`` so the call site
+        builds exactly one tuple and the scheduler adds zero re-packing.
+        """
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = self._now + delay
+            event.priority = priority
+            event.seq = self._seq
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(self._now + delay, priority, self._seq, fn, args)
+            event.pooled = True
+        self._seq += 1
+        heapq.heappush(self._queue, event)
 
     def call_soon(self, fn: Callable[..., Any], *args: Any,
                   priority: int = Priority.PROTOCOL) -> Event:
@@ -140,23 +202,31 @@ class Simulator:
             raise SimulationFinished("simulator has been stopped")
         executed = 0
         queue = self._queue
+        free = self._free
+        pop = heapq.heappop
         self._running = True
         try:
             while queue:
                 event = queue[0]
                 if event.cancelled:
-                    heapq.heappop(queue)
+                    pop(queue)
+                    self._cancelled_count -= 1
+                    if event.pooled and len(free) < FREE_LIST_CAP:
+                        free.append(event)
                     continue
                 if until is not None and event.time > until:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                heapq.heappop(queue)
+                pop(queue)
                 self._now = event.time
                 fn, args = event.fn, event.args
                 event.fn, event.args = None, ()  # break ref cycles
+                event.owner = None  # fired: late cancel() is a true no-op
                 fn(*args)  # type: ignore[misc]
                 executed += 1
+                if event.pooled and len(free) < FREE_LIST_CAP:
+                    free.append(event)
                 if self._stopped:
                     break
         finally:
@@ -173,21 +243,70 @@ class Simulator:
     def stop(self) -> None:
         """Halt the simulation permanently; pending events are discarded."""
         self._stopped = True
+        for event in self._queue:
+            event.owner = None  # discarded: a late cancel() must not count
         self._queue.clear()
+        self._cancelled_count = 0
 
     @property
     def stopped(self) -> bool:
         return self._stopped
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): the scheduler tracks the exact count of dead entries instead
+        of scanning the heap.
+        """
+        return len(self._queue) - self._cancelled_count
 
     def peek(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        free = self._free
+        while queue and queue[0].cancelled:
+            event = heapq.heappop(queue)
+            self._cancelled_count -= 1
+            if event.pooled and len(free) < FREE_LIST_CAP:
+                free.append(event)
+        return queue[0].time if queue else None
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """Called by :meth:`Event.cancel` for every event dying in-queue.
+
+        Keeps ``pending()`` O(1) and compacts the heap once dead entries
+        outnumber live ones, so workloads that cancel in bulk (periodic
+        tasks, retry timers) never degrade ``run()``/``peek()`` to
+        O(dead events).
+        """
+        self._cancelled_count += 1
+        if (self._cancelled_count > COMPACT_MIN_QUEUE
+                and self._cancelled_count * 2 > len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without its cancelled entries.
+
+        Mutates the queue *in place*: ``run()`` holds a local reference to
+        the list, so rebinding ``self._queue`` here would silently detach a
+        running event loop from every event scheduled afterwards.
+        """
+        free = self._free
+        queue = self._queue
+        live: List[Event] = []
+        for event in queue:
+            if event.cancelled:
+                if event.pooled and len(free) < FREE_LIST_CAP:
+                    free.append(event)
+            else:
+                live.append(event)
+        queue[:] = live
+        heapq.heapify(queue)
+        self._cancelled_count = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # Randomness and tracing

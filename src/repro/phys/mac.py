@@ -22,13 +22,18 @@ Timing constants follow 802.11b long-preamble numbers.
 from __future__ import annotations
 
 from collections import deque
+from math import log10 as _math_log10
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
+from ..env.linkcache import LinkCache
 from ..env.radio import (
     NOISE_FLOOR_DBM,
     PropagationModel,
     RateMode,
-    sinr_db,
+    interference_sum_mw,
+    sinr_from_mw,
 )
 from ..env.spectrum import overlap_factor, validate_channel
 from ..env.world import World
@@ -48,6 +53,17 @@ SIFS_S: float = 10e-6
 DIFS_S: float = 50e-6
 #: ACK frame airtime at the 2 Mb/s control rate incl. preamble (s).
 ACK_S: float = PREAMBLE_S + (14 * 8) / 2e6
+
+#: Genie-ACK turnaround: the one delay every unicast frame schedules.
+ACK_TURNAROUND_S: float = SIFS_S + ACK_S
+
+#: Priorities as plain ints for the scheduler fast path.
+_MEDIUM_PRI: int = int(Priority.MEDIUM)
+_PROTOCOL_PRI: int = int(Priority.PROTOCOL)
+
+#: Interferer count at which the SINR sum switches from a scalar loop to
+#: one vectorised NumPy pass (array setup only pays off beyond a handful).
+_VECTORISE_MIN: int = 8
 
 
 class Transmission:
@@ -79,6 +95,9 @@ class WirelessMedium:
         self.world = world
         self.propagation = propagation or PropagationModel(
             rng=sim.rng("radio.shadowing"))
+        #: topology-epoch-keyed cache of per-pair link attenuation; the
+        #: single biggest win in stationary dense-medium sweeps.
+        self.link_cache = LinkCache(world, self.propagation)
         #: per-frame Rayleigh fading on the wanted signal — models a busy
         #: multipath room where even a static link flutters.  Off by
         #: default (log-normal shadowing alone keeps links stable, which
@@ -111,21 +130,25 @@ class WirelessMedium:
     # Channel state as seen by one station
     # ------------------------------------------------------------------
     def _rx_power(self, tx: Transmission, rx_address: str) -> float:
-        dist = self.world.distance_between(rx_address, tx.sender.address)
-        return self.propagation.received_power_dbm(
-            tx.power_dbm, dist, tx.sender.address, rx_address)
+        return self.link_cache.rx_power_dbm(
+            tx.power_dbm, tx.sender.address, rx_address)
 
     def busy_for(self, mac: "CsmaMac") -> bool:
         """Carrier sense at ``mac``: any audible overlapping transmission?"""
+        cache = self.link_cache
+        address = mac.address
+        channel = mac.channel
+        threshold = mac.cs_threshold_dbm
         for tx in self._active:
             if tx.sender is mac:
                 return True  # half-duplex: own transmission occupies us
-            factor = overlap_factor(mac.channel, tx.channel)
+            factor = overlap_factor(channel, tx.channel)
             if factor <= 0.0:
                 continue
-            power = self._rx_power(tx, mac.address)
+            power = cache.rx_power_dbm(tx.power_dbm, tx.sender.address,
+                                       address)
             # Adjacent-channel energy is attenuated by the overlap factor.
-            if power + 10.0 * _log10(factor) >= mac.cs_threshold_dbm:
+            if power + 10.0 * _log10(factor) >= threshold:
                 return True
         return False
 
@@ -133,9 +156,8 @@ class WirelessMedium:
         """Interference-free SINR estimate src->dst (rate-adaptation input)."""
         if dst_address not in self._macs:
             raise NetworkError(f"no station {dst_address!r} on this medium")
-        dist = self.world.distance_between(dst_address, src.address)
-        signal = self.propagation.received_power_dbm(
-            src.tx_power_dbm, dist, src.address, dst_address)
+        signal = self.link_cache.rx_power_dbm(
+            src.tx_power_dbm, src.address, dst_address)
         return signal - NOISE_FLOOR_DBM
 
     # ------------------------------------------------------------------
@@ -153,7 +175,8 @@ class WirelessMedium:
         self.total_transmissions += 1
         self.channel_airtime[mac.channel] = \
             self.channel_airtime.get(mac.channel, 0.0) + duration
-        self.sim.schedule(duration, self._finish, tx, priority=Priority.MEDIUM)
+        self.sim.schedule_bound(duration, self._finish, (tx,),
+                                priority=_MEDIUM_PRI)
         self.sim.trace("mac.tx", mac.address,
                        f"tx #{frame.frame_id} -> {frame.dst} @{rate.name}",
                        bytes=frame.wire_bytes, channel=mac.channel)
@@ -198,23 +221,37 @@ class WirelessMedium:
         """Did ``rx`` successfully decode ``tx``?  SINR through FER."""
         if rx.receiving_disabled:
             return False
-        signal = self._rx_power(tx, rx.address)
+        cache = self.link_cache
+        rx_address = rx.address
+        signal = cache.rx_power_dbm(tx.power_dbm, tx.sender.address,
+                                    rx_address)
         if self.fast_fading:
             # Rayleigh envelope: exponentially-distributed power with unit
             # mean; deep fades (-10 dB and worse) hit ~10% of frames.
-            signal += float(10.0 * _np_log10(
-                max(self._fading_rng.exponential(1.0), 1e-6)))
-        interferer_powers = []
-        overlaps = []
-        for other in tx.interferers:
-            if other.sender is rx:
-                return False  # half-duplex: we were transmitting ourselves
-            factor = overlap_factor(rx.channel, other.channel)
-            if factor <= 0.0:
-                continue
-            interferer_powers.append(self._rx_power(other, rx.address))
-            overlaps.append(factor)
-        ratio = sinr_db(signal, interferer_powers, overlaps)
+            signal += 10.0 * _math_log10(
+                max(self._fading_rng.exponential(1.0), 1e-6))
+        interference_mw = 0.0
+        if tx.interferers:
+            rx_channel = rx.channel
+            interferer_powers = []
+            overlaps = []
+            for other in tx.interferers:
+                if other.sender is rx:
+                    return False  # half-duplex: we were transmitting
+                factor = overlap_factor(rx_channel, other.channel)
+                if factor <= 0.0:
+                    continue
+                interferer_powers.append(cache.rx_power_dbm(
+                    other.power_dbm, other.sender.address, rx_address))
+                overlaps.append(factor)
+            if len(interferer_powers) >= _VECTORISE_MIN:
+                # One vectorised NumPy pass over all interferers.
+                interference_mw = interference_sum_mw(
+                    np.asarray(interferer_powers), np.asarray(overlaps))
+            else:
+                for power, factor in zip(interferer_powers, overlaps):
+                    interference_mw += 10.0 ** (power / 10.0) * factor
+        ratio = sinr_from_mw(10.0 ** (signal / 10.0), interference_mw)
         failure_probability = tx.rate.fer(ratio, tx.frame.wire_bytes)
         ok = bool(self._rng.random() >= failure_probability)
         if ok:
@@ -228,15 +265,7 @@ class WirelessMedium:
 
 
 def _log10(x: float) -> float:
-    import math
-
-    return math.log10(x) if x > 0 else -20.0
-
-
-def _np_log10(x: float) -> float:
-    import math
-
-    return math.log10(x)
+    return _math_log10(x) if x > 0 else -20.0
 
 
 class CsmaMac:
@@ -316,7 +345,8 @@ class CsmaMac:
     def _kick(self) -> None:
         if self._in_flight is None and self._queue and not self._attempt_pending:
             self._attempt_pending = True
-            self.sim.schedule(DIFS_S, self._attempt, priority=Priority.PROTOCOL)
+            self.sim.schedule_bound(DIFS_S, self._attempt,
+                                    priority=_PROTOCOL_PRI)
 
     def _attempt(self) -> None:
         self._attempt_pending = False
@@ -337,8 +367,8 @@ class CsmaMac:
         slots = int(self._rng.integers(0, self._cw))
         self._cw = min(self._cw * 2, self.CW_MAX)
         self._attempt_pending = True
-        self.sim.schedule(DIFS_S + slots * SLOT_S, self._attempt,
-                          priority=Priority.PROTOCOL)
+        self.sim.schedule_bound(DIFS_S + slots * SLOT_S, self._attempt,
+                                priority=_PROTOCOL_PRI)
 
     def select_rate(self, frame: Frame) -> RateMode:
         """PHY rate for this frame: pinned, or SINR-driven adaptation.
@@ -364,9 +394,9 @@ class CsmaMac:
             self._complete(success=True)
             return
         # Sender learns the outcome one SIFS + ACK airtime later.
-        self.stats["busy_time"] += SIFS_S + ACK_S
-        self.sim.schedule(SIFS_S + ACK_S, self._ack_outcome, frame, delivered,
-                          priority=Priority.PROTOCOL)
+        self.stats["busy_time"] += ACK_TURNAROUND_S
+        self.sim.schedule_bound(ACK_TURNAROUND_S, self._ack_outcome,
+                                (frame, delivered), priority=_PROTOCOL_PRI)
 
     def _ack_outcome(self, frame: Frame, delivered: bool) -> None:
         if delivered:

@@ -1,0 +1,76 @@
+"""Tests for the topology-epoch-keyed link cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.env.linkcache import LinkCache
+from repro.env.radio import PropagationModel
+from repro.env.world import World
+
+
+@pytest.fixture
+def world():
+    w = World(100.0, 60.0)
+    w.place("a", (10.0, 10.0))
+    w.place("b", (40.0, 30.0))
+    w.place("c", (70.0, 50.0))
+    return w
+
+
+@pytest.fixture
+def cache(world):
+    return LinkCache(world, PropagationModel())
+
+
+def test_cached_power_bit_identical_to_uncached(world, cache):
+    prop = cache.propagation
+    expected = prop.received_power_dbm(
+        15.0, world.distance_between("a", "b"), "a", "b")
+    assert cache.rx_power_dbm(15.0, "a", "b") == expected
+    # Second lookup serves from cache and must not drift.
+    assert cache.rx_power_dbm(15.0, "a", "b") == expected
+
+
+def test_hit_miss_counting(cache):
+    cache.rx_power_dbm(15.0, "a", "b")
+    cache.rx_power_dbm(15.0, "a", "b")
+    cache.rx_power_dbm(15.0, "b", "a")   # unordered key: same link
+    cache.rx_power_dbm(15.0, "a", "c")
+    assert cache.misses == 2
+    assert cache.hits == 2
+    assert cache.hit_rate == pytest.approx(0.5)
+
+
+def test_epoch_bump_on_move_invalidates(world, cache):
+    before = cache.rx_power_dbm(15.0, "a", "b")
+    world.move("a", (90.0, 55.0))
+    after = cache.rx_power_dbm(15.0, "a", "b")
+    assert cache.invalidations == 1
+    assert after != before
+    assert after == cache.propagation.received_power_dbm(
+        15.0, world.distance_between("a", "b"), "a", "b")
+
+
+def test_epoch_bump_on_place_invalidates(world, cache):
+    cache.rx_power_dbm(15.0, "a", "b")
+    world.place("d", (5.0, 5.0))
+    cache.rx_power_dbm(15.0, "a", "b")
+    assert cache.invalidations == 1
+
+
+def test_stats_snapshot(cache):
+    cache.attenuation_db("a", "b")
+    stats = cache.stats()
+    assert stats["misses"] == 1
+    assert stats["hits"] == 0
+    assert stats["invalidations"] == 0
+    assert stats["cached_links"] == 1
+
+
+def test_world_epoch_counter(world):
+    epoch = world.epoch
+    world.move("a", (1.0, 1.0))
+    assert world.epoch == epoch + 1
+    world.place("z", (2.0, 2.0))
+    assert world.epoch == epoch + 2

@@ -29,6 +29,28 @@ def test_dbm_to_mw_known_values():
     assert dbm_to_mw(-30.0) == pytest.approx(1e-3)
 
 
+def test_scalar_conversions_return_native_float():
+    """Regression: scalar in must mean native ``float`` out, not a NumPy
+    scalar that leaks array semantics into downstream arithmetic."""
+    assert type(dbm_to_mw(0.0)) is float
+    assert type(dbm_to_mw(-30)) is float
+    assert type(mw_to_dbm(1.0)) is float
+    assert type(mw_to_dbm(0)) is float  # clipped at the -200 dBm floor
+    assert type(NOISE_FLOOR_DBM) is float
+
+
+def test_array_conversions_still_return_arrays():
+    mw = dbm_to_mw(np.array([0.0, 10.0]))
+    assert isinstance(mw, np.ndarray)
+    assert np.allclose(mw, [1.0, 10.0])
+    assert isinstance(mw_to_dbm(np.array([1.0, 10.0])), np.ndarray)
+
+
+def test_mw_to_dbm_clips_at_floor():
+    assert mw_to_dbm(0.0) == pytest.approx(-200.0)
+    assert mw_to_dbm(-1.0) == pytest.approx(-200.0)
+
+
 def test_noise_floor_plausible():
     # 22 MHz channel with a 6 dB NF lands in the mid -90s dBm.
     assert -96.0 < NOISE_FLOOR_DBM < -93.0

@@ -70,6 +70,50 @@ def test_averaged_over_seeds():
     assert by_knob[1]["replicates"] == 2
 
 
+def test_sweep_point_wins_key_clash_over_measured_row():
+    """A parameter point's value takes precedence over a same-named key in
+    the measured row, so callers can rename without surprises."""
+    result = sweep("X", "t",
+                   lambda seed, knob: {"knob": 999, "metric": knob},
+                   grid(knob=[1, 2]))
+    assert result.column("knob") == [1, 2]
+    assert result.column("metric") == [1, 2]
+
+
+def test_sweep_seed_wins_over_measured_seed():
+    result = sweep("X", "t", lambda seed, k: {"seed": -1, "v": k},
+                   grid(k=[5]), seeds=(7,))
+    assert result.rows[0]["seed"] == 7
+
+
+def test_sweep_empty_points_rejected():
+    with pytest.raises(ExperimentError):
+        sweep("X", "t", lambda seed: {"v": 1}, points=[])
+
+
+def test_sweep_parallel_rows_identical_to_serial():
+    """workers=N must give byte-identical rows in identical order — the
+    determinism contract the bench gate also enforces on E2."""
+    from repro.kernel.scheduler import Simulator
+
+    def run_one(seed, n):
+        sim = Simulator(seed=seed)
+        return {"draw": float(sim.rng("x").random()) + n, "n2": n * n}
+
+    points = grid(n=[0, 1, 2, 3])
+    serial = sweep("X", "t", run_one, points, seeds=(3, 4))
+    parallel = sweep("X", "t", run_one, points, seeds=(3, 4), workers=4)
+    assert parallel.rows == serial.rows
+    assert parallel.columns == serial.columns
+
+
+def test_sweep_single_task_stays_serial():
+    # workers>1 with one task short-circuits to the serial path.
+    result = sweep("X", "t", lambda seed, k: {"v": k}, grid(k=[1]),
+                   workers=8)
+    assert result.rows == [{"seed": 0, "k": 1, "v": 1}]
+
+
 # ---------------------------------------------------------------------------
 # report
 # ---------------------------------------------------------------------------

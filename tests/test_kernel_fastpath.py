@@ -1,0 +1,175 @@
+"""Tests for the kernel fast path: ``schedule_bound``, the event pool,
+lazy-cancellation bookkeeping and heap compaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.events import Priority
+from repro.kernel.scheduler import COMPACT_MIN_QUEUE, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0, trace=False)
+
+
+# ---------------------------------------------------------------------------
+# schedule_bound semantics
+# ---------------------------------------------------------------------------
+
+def test_schedule_bound_fires_in_time_order(sim):
+    order = []
+    sim.schedule_bound(3.0, order.append, (3,))
+    sim.schedule_bound(1.0, order.append, (1,))
+    sim.schedule_bound(2.0, order.append, (2,))
+    sim.run()
+    assert order == [1, 2, 3]
+
+
+def test_schedule_bound_interleaves_with_public_schedule(sim):
+    """Bound and public events share one queue, one clock and one total
+    order (time, priority, seq)."""
+    order = []
+    sim.schedule(1.0, order.append, "public")
+    sim.schedule_bound(1.0, order.append, ("bound",))
+    sim.schedule_bound(0.5, order.append, ("early",))
+    sim.run()
+    assert order == ["early", "public", "bound"]
+
+
+def test_schedule_bound_priority_breaks_ties(sim):
+    order = []
+    sim.schedule_bound(1.0, order.append, ("app",),
+                       priority=int(Priority.APP))
+    sim.schedule_bound(1.0, order.append, ("medium",),
+                       priority=int(Priority.MEDIUM))
+    sim.run()
+    assert order == ["medium", "app"]
+
+
+def test_schedule_bound_returns_no_handle(sim):
+    """The fast path trades the cancel handle for pooling — it must never
+    leak an Event the caller could hold on to."""
+    assert sim.schedule_bound(1.0, lambda: None) is None
+
+
+def test_schedule_bound_reuses_pooled_events(sim):
+    """A fired bound event returns to the free list and is recycled."""
+    fired = []
+
+    def tick():
+        fired.append(sim.now)
+        if len(fired) < 100:
+            sim.schedule_bound(1.0, tick)
+
+    sim.schedule_bound(0.0, tick)
+    sim.run()
+    assert len(fired) == 100
+    # A fired event is recycled only after its callback runs, so the chain
+    # alternates between two Event objects — not 100 fresh allocations.
+    assert len(sim._free) == 2
+
+
+def test_bound_chain_matches_public_chain(sim):
+    """Same program through either path gives identical event timing."""
+
+    def chain(sched):
+        s = Simulator(seed=7, trace=False)
+        times = []
+
+        def tick():
+            times.append(s.now)
+            if len(times) < 50:
+                getattr(s, sched)(0.25, tick)
+
+        getattr(s, sched)(0.0, tick)
+        s.run()
+        return times
+
+    assert chain("schedule_bound") == chain("schedule")
+
+
+# ---------------------------------------------------------------------------
+# Cancellation bookkeeping: O(1) pending(), compaction
+# ---------------------------------------------------------------------------
+
+def test_pending_excludes_cancelled(sim):
+    handles = [sim.schedule(1.0 + i, lambda: None) for i in range(10)]
+    assert sim.pending() == 10
+    for handle in handles[:4]:
+        handle.cancel()
+    assert sim.pending() == 6
+
+
+def test_cancel_idempotent_does_not_double_count(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    handle.cancel()
+    assert sim.pending() == 1
+
+
+def test_peek_skips_cancelled_heads(sim):
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    first.cancel()
+    assert sim.peek() == 2.0
+    assert sim.pending() == 1
+
+
+def test_mass_cancellation_of_10k_periodic_tasks(sim):
+    """Regression: cancelling 10k periodic tasks must compact the heap
+    and leave the loop with nothing to do — not 10k dead pops."""
+    tasks = [sim.every(1.0, pytest.fail, "cancelled task fired")
+             for _ in range(10_000)]
+    assert sim.pending() == 10_000
+    for task in tasks:
+        task.cancel()
+
+    assert sim.pending() == 0
+    # Compaction fired (10k dead >> threshold) and physically shrank the
+    # heap rather than leaving tombstones for run() to pop one by one.
+    assert sim.compactions >= 1
+    assert len(sim._queue) < 10_000
+
+    executed = sim.run(until=5.0)
+    assert executed == 0
+    assert sim.now == 5.0
+
+
+def test_compaction_threshold_not_triggered_by_few_cancels(sim):
+    handles = [sim.schedule(1.0 + i, lambda: None)
+               for i in range(COMPACT_MIN_QUEUE)]
+    handles[0].cancel()
+    assert sim.compactions == 0
+    assert sim.pending() == COMPACT_MIN_QUEUE - 1
+
+
+def test_compaction_mid_run_keeps_loop_attached(sim):
+    """Regression for the detached-queue bug: a compaction triggered while
+    run() is draining must mutate the live heap in place, so events
+    scheduled afterwards still fire."""
+    tasks = [sim.every(10.0, lambda: None, start=5.0) for _ in range(500)]
+    fired = []
+
+    def cancel_all_then_reschedule():
+        for task in tasks:
+            task.cancel()          # triggers compaction inside run()
+        sim.schedule(1.0, fired.append, "after-compaction")
+
+    sim.schedule(1.0, cancel_all_then_reschedule)
+    sim.run(until=4.0)
+    assert sim.compactions >= 1
+    assert fired == ["after-compaction"]
+
+
+def test_stop_resets_cancellation_counter(sim):
+    handles = [sim.schedule(1.0, lambda: None) for _ in range(8)]
+    handles[0].cancel()
+    sim.stop()
+    assert sim.pending() == 0
+    # A late cancel on a discarded handle must not corrupt the counter.
+    handles[1].cancel()
+    assert sim.pending() == 0
