@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.bench import calibration_spin
+from repro.experiments.bench import (_timer_chain_records,
+                                     _timer_chain_spans, calibration_spin)
 from repro.experiments.workloads import interferer_field, projector_room
 from repro.kernel.scheduler import Simulator
 
@@ -60,6 +61,19 @@ def test_kernel_public_schedule_throughput(benchmark):
         return counter[0]
 
     events = benchmark(run_events)
+    assert events == 20_000
+
+
+def test_trace_records_throughput(benchmark):
+    """The bound timer chain emitting one trace record per event — the
+    enabled-tracing price the BENCH_trace.json overhead ratios gate."""
+    events = benchmark(_timer_chain_records)
+    assert events == 20_000
+
+
+def test_trace_spans_throughput(benchmark):
+    """The bound timer chain opening/closing one causal span per event."""
+    events = benchmark(_timer_chain_spans)
     assert events == 20_000
 
 

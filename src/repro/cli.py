@@ -7,16 +7,24 @@ Subcommands:
 * ``run <id> [--seed S]`` — run one experiment and print its table.
 * ``demo [--seed S] [--horizon T]`` — run the instrumented Smart Projector
   scenario and print the layered LPC report plus paper coverage.
+* ``report --lpc`` — run the scripted-week scenario and print the
+  per-LPC-layer telemetry report (issue grid plus metrics).
 * ``bench`` — run the E10 kernel/sweep microbenchmarks, write
-  ``BENCH_kernel.json`` / ``BENCH_sweeps.json``, and fail when event
-  throughput regresses >20% against the committed baseline.
+  ``BENCH_kernel.json`` / ``BENCH_sweeps.json`` / ``BENCH_trace.json``,
+  and fail when event throughput regresses >20% against the committed
+  baseline.
+
+``run`` and ``demo`` accept ``--trace CATEGORY_PREFIX`` and
+``--trace-out FILE``: trace records (and completed spans) stream to the
+file as JSONL while the command runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from .core.analysis import compare_with_paper
 from .core.figures import ALL_FIGURES, render_all
@@ -43,18 +51,66 @@ def _cmd_experiments(_args: argparse.Namespace) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _trace_export(args: argparse.Namespace) -> Iterator[None]:
+    """Stream records/spans to ``--trace-out`` while the body runs.
+
+    Installs process-default tracer hooks (every simulator built inside the
+    command picks them up) and removes them afterwards, so nothing leaks
+    into later in-process callers.
+    """
+    prefix = getattr(args, "trace", None)
+    out = getattr(args, "trace_out", None)
+    if prefix is None and out is None:
+        yield
+        return
+    import pathlib
+
+    from .kernel import trace as ktrace
+    from .telemetry.jsonl import JsonlWriter
+
+    if prefix is None:
+        prefix = ""  # empty prefix = everything
+    writer = JsonlWriter(pathlib.Path(out or "trace.jsonl"))
+    remove_record = ktrace.add_default_subscriber(prefix,
+                                                  writer.write_record)
+
+    def on_span(span: "ktrace.Span") -> None:
+        if span.matches(prefix):
+            writer.write_span(span)
+
+    remove_span = ktrace.add_default_span_hook(on_span)
+    try:
+        yield
+    finally:
+        remove_record()
+        remove_span()
+        writer.close()
+        print(f"trace: {writer.lines} JSONL lines -> {writer.path}",
+              file=sys.stderr)
+
+
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="CATEGORY_PREFIX", default=None,
+                        help="stream trace records/spans under this "
+                             "category prefix ('' = everything) as JSONL")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="JSONL destination (default: trace.jsonl)")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.seed is not None:
         kwargs["seed"] = args.seed
-    try:
-        result = run_experiment(args.experiment_id, **kwargs)
-    except ExperimentError as exc:
-        print(str(exc), file=sys.stderr)
-        return 2
-    except TypeError:
-        # Experiment without a seed parameter: run with defaults.
-        result = run_experiment(args.experiment_id)
+    with _trace_export(args):
+        try:
+            result = run_experiment(args.experiment_id, **kwargs)
+        except ExperimentError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        except TypeError:
+            # Experiment without a seed parameter: run with defaults.
+            result = run_experiment(args.experiment_id)
     print(result.format_table())
     return 0
 
@@ -62,8 +118,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_demo(args: argparse.Namespace) -> int:
     from .experiments.e9_analysis import _scripted_week
 
-    room, model, _instrument = _scripted_week(seed=args.seed,
-                                              horizon=args.horizon)
+    with _trace_export(args):
+        room, model, _instrument = _scripted_week(seed=args.seed,
+                                                  horizon=args.horizon)
     print(model.report())
     print()
     print(compare_with_paper(model.concerns()).summary())
@@ -91,11 +148,13 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment_id")
     run.add_argument("--seed", type=int, default=None)
+    _add_trace_flags(run)
     run.set_defaults(func=_cmd_run)
 
     demo = sub.add_parser("demo", help="instrumented Smart Projector demo")
     demo.add_argument("--seed", type=int, default=42)
     demo.add_argument("--horizon", type=float, default=240.0)
+    _add_trace_flags(demo)
     demo.set_defaults(func=_cmd_demo)
 
     report = sub.add_parser(
@@ -104,6 +163,13 @@ def build_parser() -> argparse.ArgumentParser:
                         default="quick")
     report.add_argument("--only", nargs="*", default=None,
                         help="subset of experiment ids")
+    report.add_argument("--lpc", action="store_true",
+                        help="instead: run the scripted-week scenario and "
+                             "print the per-LPC-layer telemetry report")
+    report.add_argument("--seed", type=int, default=42,
+                        help="scenario seed (with --lpc)")
+    report.add_argument("--horizon", type=float, default=240.0,
+                        help="scenario horizon in seconds (with --lpc)")
     report.set_defaults(func=_cmd_report)
 
     bench = sub.add_parser(
@@ -128,6 +194,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.lpc:
+        from .experiments.e9_analysis import _scripted_week
+        from .telemetry.report import layer_report
+
+        room, _model, _instrument = _scripted_week(seed=args.seed,
+                                                   horizon=args.horizon)
+        print(layer_report(
+            room.sim,
+            user_sources={"presenter", "casual-1", "visitor-1"},
+            title=f"LPC run report — scripted week (seed={args.seed}, "
+                  f"horizon={args.horizon:g}s)"),
+            end="")
+        return 0
     from .experiments.report import build_report
 
     print(build_report(budget=args.budget, only=args.only))
@@ -169,6 +248,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
 
+    trace = bench.bench_trace(repeats=args.repeats)
+    if args.raw is not None:
+        raw_trace = bench.trace_metrics_from_pytest_json(pathlib.Path(args.raw))
+        if raw_trace is not None:
+            trace.update(raw_trace)
+    trace_path = bench.write_bench_json(out_dir, trace)
+    print(f"trace: disabled {trace['events_per_sec_disabled']:,.0f} "
+          f"events/sec, records x{trace['records_overhead_ratio']:.2f}, "
+          f"spans x{trace['spans_overhead_ratio']:.2f} -> {trace_path}")
+
     if args.update_baseline:
         baseline_path.parent.mkdir(parents=True, exist_ok=True)
         baseline_path.write_text(kernel_path.read_text())
@@ -177,6 +266,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     baseline = bench.load_baseline(baseline_path)
     failures = bench.check_regression(kernel, baseline)
+    # Trace gate: disabled-path floor vs the same kernel baseline, plus
+    # machine-independent within-run overhead ratios.
+    trace_baseline = baseline if (
+        baseline is not None
+        and baseline.get("source") == trace.get("source")) else None
+    failures += bench.check_trace_regression(trace, trace_baseline)
     for failure in failures:
         print(f"regression: {failure}", file=sys.stderr)
     if not failures:

@@ -67,6 +67,13 @@ class LeaseTable:
         self.granted_count = 0
         self.renewed_count = 0
         self.expired_count = 0
+        # Lease churn aggregated across every table on the simulator —
+        # the "how much self-healing is going on" health signal.
+        metrics = sim.metrics
+        self._m_granted = metrics.counter("leases.granted")
+        self._m_renewed = metrics.counter("leases.renewed")
+        self._m_expired = metrics.counter("leases.expired")
+        self._m_cancelled = metrics.counter("leases.cancelled")
         self._sweeper = sim.every(sweep_interval, self.sweep,
                                   priority=Priority.PROTOCOL)
 
@@ -81,6 +88,7 @@ class LeaseTable:
                       now + duration)
         self._leases[lease.lease_id] = lease
         self.granted_count += 1
+        self._m_granted.add()
         self.sim.trace("lease.grant", self.name,
                        f"lease {lease.lease_id} -> {holder} for {resource} "
                        f"({duration:.0f}s)")
@@ -96,6 +104,7 @@ class LeaseTable:
         lease.duration = duration
         lease.expires_at = self.sim.now + duration
         self.renewed_count += 1
+        self._m_renewed.add()
         return lease
 
     def cancel(self, lease_id: int) -> Lease:
@@ -104,6 +113,7 @@ class LeaseTable:
         if lease is None:
             raise LeaseError(f"lease {lease_id} unknown")
         lease.cancelled = True
+        self._m_cancelled.add()
         return lease
 
     def get(self, lease_id: int) -> Optional[Lease]:
@@ -125,6 +135,7 @@ class LeaseTable:
         for lease in dead:
             del self._leases[lease.lease_id]
             self.expired_count += 1
+            self._m_expired.add()
             self.sim.trace("lease.expire", self.name,
                            f"lease {lease.lease_id} of {lease.holder} on "
                            f"{lease.resource} expired")

@@ -135,6 +135,12 @@ class LookupService:
         self._event_tx = device.reliable(EVENT_PORT)
         self.requests_served = 0
         self.events_sent = 0
+        sim.metrics.register_probe(f"registry.{registry_id}", lambda: {
+            "registrations": len(self._items),
+            "subscriptions": len(self._subscriptions),
+            "requests_served": self.requests_served,
+            "events_sent": self.events_sent,
+        })
 
     # ------------------------------------------------------------------
     # Local (co-located) API

@@ -114,6 +114,116 @@ def bench_kernel(repeats: int = 5) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# Tracing-overhead benchmark (spans/records vs the disabled fast path)
+# ---------------------------------------------------------------------------
+
+#: Allowed slowdown of the tracing-*disabled* path vs the committed kernel
+#: baseline.  The span-context plumbing lives on the run loop's hot path,
+#: so this is the gate that keeps observability free for sweeps.
+TRACE_DISABLED_TOLERANCE: float = 0.05
+
+#: Allowed within-run overhead ratios (enabled-path throughput must stay
+#: above this fraction of the disabled path measured in the same process).
+#: These floors catch accidental O(n) scans in emit/span_begin, not the
+#: ordinary ~4-5x record/span allocation cost.
+TRACE_RECORDS_MIN_RATIO: float = 0.10
+TRACE_SPANS_MIN_RATIO: float = 0.10
+
+
+def _timer_chain_records() -> int:
+    """Timer chain that emits one trace record per event (ring-bounded)."""
+    sim = Simulator(seed=1, trace=True, trace_capacity=1024,
+                    trace_mode="ring")
+    counter = [0]
+
+    def tick() -> None:
+        counter[0] += 1
+        sim.trace("bench.tick", "bench", "tick", n=counter[0])
+        if counter[0] < KERNEL_EVENTS:
+            sim.schedule_bound(0.001, tick)
+
+    sim.schedule_bound(0.0, tick)
+    sim.run()
+    return counter[0]
+
+
+def _timer_chain_spans() -> int:
+    """Timer chain that opens and closes one span per event."""
+    sim = Simulator(seed=1, trace=True, trace_capacity=1024,
+                    trace_mode="ring")
+    counter = [0]
+
+    def tick() -> None:
+        counter[0] += 1
+        span = sim.span_begin("bench.tick", "bench")
+        if counter[0] < KERNEL_EVENTS:
+            sim.schedule_bound(0.001, tick)
+        sim.span_end(span)
+
+    sim.schedule_bound(0.0, tick)
+    sim.run()
+    return counter[0]
+
+
+def bench_trace(repeats: int = 5) -> Dict[str, Any]:
+    """Measure tracing overhead: disabled vs records vs spans.
+
+    ``events_per_sec_disabled`` re-times the bound timer chain with tracing
+    off — the figure the <5% gate holds against the committed kernel
+    baseline.  The enabled-path ratios are *within-run* (same process, same
+    thermal state), so they are portable across machines.
+    """
+    disabled = _events_per_sec(_timer_chain_bound, repeats)
+    records = _events_per_sec(_timer_chain_records, repeats)
+    spans = _events_per_sec(_timer_chain_spans, repeats)
+    return {
+        "name": "trace",
+        "events_per_run": KERNEL_EVENTS,
+        "events_per_sec_disabled": disabled,
+        "events_per_sec_records": records,
+        "events_per_sec_spans": spans,
+        "records_overhead_ratio": records / disabled if disabled else 0.0,
+        "spans_overhead_ratio": spans / disabled if disabled else 0.0,
+        "source": "in-process",
+    }
+
+
+def check_trace_regression(current: Dict[str, Any],
+                           baseline: Optional[Dict[str, Any]],
+                           ) -> List[str]:
+    """Gate the tracing benchmark.
+
+    Two kinds of check:
+
+    * the tracing-*disabled* throughput must stay within
+      :data:`TRACE_DISABLED_TOLERANCE` of the committed kernel baseline's
+      ``events_per_sec`` (the span plumbing must not tax sweeps that never
+      trace) — skipped when there is no baseline;
+    * the enabled paths must stay above fixed fractions of the disabled
+      path measured in the same run, catching accidental slow paths in
+      ``emit``/``span_begin`` without any machine dependence.
+    """
+    failures = []
+    disabled = current.get("events_per_sec_disabled") or 0.0
+    if baseline is not None and baseline.get("events_per_sec"):
+        floor = baseline["events_per_sec"] * (1.0 - TRACE_DISABLED_TOLERANCE)
+        if disabled < floor:
+            failures.append(
+                f"events_per_sec_disabled: {disabled:,.0f} is more than "
+                f"{TRACE_DISABLED_TOLERANCE:.0%} below the committed kernel "
+                f"baseline {baseline['events_per_sec']:,.0f} "
+                f"(floor {floor:,.0f}) — tracing must stay free when off")
+    for key, minimum in (("records_overhead_ratio", TRACE_RECORDS_MIN_RATIO),
+                         ("spans_overhead_ratio", TRACE_SPANS_MIN_RATIO)):
+        ratio = current.get(key) or 0.0
+        if ratio < minimum:
+            failures.append(
+                f"{key}: {ratio:.2f} below the {minimum:.2f} floor — the "
+                f"enabled tracing path got disproportionately slower")
+    return failures
+
+
+# ---------------------------------------------------------------------------
 # Sweep benchmark (E2 density sweep, serial vs parallel, cache hit rate)
 # ---------------------------------------------------------------------------
 
@@ -252,5 +362,37 @@ def kernel_metrics_from_pytest_json(path: pathlib.Path) -> Optional[Dict[str, An
     if "events_per_sec" not in out:
         return None
     out.update(name="kernel", events_per_run=KERNEL_EVENTS,
+               source="pytest-benchmark")
+    return out
+
+
+def trace_metrics_from_pytest_json(path: pathlib.Path) -> Optional[Dict[str, Any]]:
+    """Extract the tracing-overhead figures from a pytest-benchmark dump.
+
+    The disabled path reuses ``test_kernel_event_throughput`` — with span
+    propagation on the run loop, the plain kernel hot path *is* the
+    tracing-disabled path.  Ratios are recomputed from the ingested
+    numbers so the whole payload stays one source.
+    """
+    data = json.loads(pathlib.Path(path).read_text())
+    keys = {
+        "test_kernel_event_throughput": "events_per_sec_disabled",
+        "test_trace_records_throughput": "events_per_sec_records",
+        "test_trace_spans_throughput": "events_per_sec_spans",
+    }
+    out: Dict[str, Any] = {}
+    for entry in data.get("benchmarks", ()):
+        name = entry.get("name", "")
+        for test, key in keys.items():
+            if name.startswith(test):
+                out[key] = KERNEL_EVENTS / entry["stats"]["min"]
+    if len(out) < len(keys):
+        return None
+    disabled = out["events_per_sec_disabled"]
+    out["records_overhead_ratio"] = (
+        out["events_per_sec_records"] / disabled if disabled else 0.0)
+    out["spans_overhead_ratio"] = (
+        out["events_per_sec_spans"] / disabled if disabled else 0.0)
+    out.update(name="trace", events_per_run=KERNEL_EVENTS,
                source="pytest-benchmark")
     return out

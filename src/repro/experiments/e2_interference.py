@@ -15,6 +15,7 @@ from functools import partial
 from typing import Sequence
 
 from ..metrics.stats import jains_fairness
+from ..telemetry.summary import telemetry_summary
 from .harness import ExperimentResult, experiment
 from .sweeps import sweep
 from .workloads import interferer_field, projector_room
@@ -50,6 +51,10 @@ def _measure_density(pairs: int, channel_plan: str, seed: int,
         "retry_drops": stats["tx_retry_drops"],
         "backoffs_per_frame": (stats["backoffs"] / max(1.0, stats["tx_attempts"])),
         "fairness": jains_fairness(shares),
+        # Per-point health summary; sweep() lifts this reserved key onto
+        # ExperimentResult.telemetry (it never enters the table, and only
+        # this small dict crosses the fork pipe in parallel runs).
+        "telemetry": telemetry_summary(sim),
     }
 
 

@@ -24,6 +24,10 @@ class ExperimentResult:
     columns: List[str]
     rows: List[Dict[str, Any]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: optional per-row telemetry summaries (see repro.telemetry.summary);
+    #: populated by sweep() when run_one returns a "telemetry" key.  Kept
+    #: out of ``columns``/``rows`` so tables and assertions are unchanged.
+    telemetry: List[Dict[str, Any]] = field(default_factory=list)
 
     def add_row(self, **values: Any) -> None:
         unknown = set(values) - set(self.columns)

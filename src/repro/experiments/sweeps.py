@@ -96,10 +96,16 @@ def sweep(experiment_id: str, title: str,
                              for index, seed, point in tasks}
 
     rows: List[Dict[str, Any]] = []
+    telemetry: List[Dict[str, Any]] = []
     for index, seed, point in tasks:
+        measured = measured_by_index[index]
+        # "telemetry" is reserved: a per-run summary dict (small and
+        # picklable — it crossed the fork pipe instead of the raw trace).
+        # It rides on the result, not in the table.
+        telemetry.append(measured.pop("telemetry", None))
         row: Dict[str, Any] = {"seed": seed}
         row.update(point)
-        for key, value in measured_by_index[index].items():
+        for key, value in measured.items():
             if key not in row:
                 row[key] = value
         rows.append(row)
@@ -110,6 +116,8 @@ def sweep(experiment_id: str, title: str,
     result = ExperimentResult(experiment_id, title, list(columns))
     for row in rows:
         result.add_row(**{k: row.get(k) for k in columns})
+    if any(entry is not None for entry in telemetry):
+        result.telemetry = telemetry
     return result
 
 

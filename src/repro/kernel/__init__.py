@@ -27,7 +27,7 @@ from .events import Event, Priority
 from .process import Process, Signal, spawn
 from .random import RandomStreams
 from .scheduler import PeriodicTask, Simulator
-from .trace import TraceRecord, Tracer
+from .trace import NULL_SPAN, Span, TraceRecord, Tracer
 
 __all__ = [
     "AddressError",
@@ -38,6 +38,7 @@ __all__ = [
     "ExperimentError",
     "LeaseError",
     "ModelError",
+    "NULL_SPAN",
     "NetworkError",
     "PeriodicTask",
     "Priority",
@@ -52,6 +53,7 @@ __all__ = [
     "SimulationError",
     "SimulationFinished",
     "Simulator",
+    "Span",
     "TraceRecord",
     "Tracer",
     "TransportError",

@@ -42,7 +42,7 @@ class Event:
     """
 
     __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled",
-                 "pooled", "owner")
+                 "pooled", "owner", "ctx")
 
     def __init__(
         self,
@@ -60,6 +60,9 @@ class Event:
         self.cancelled = False
         self.pooled = False
         self.owner: Optional[Any] = None
+        #: span id current when the event was scheduled; the run loop
+        #: restores it so causal span context crosses event boundaries.
+        self.ctx: Optional[int] = None
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it.

@@ -66,6 +66,11 @@ class Process:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self.finished = Signal(sim, f"{name}.finished")
+        # The process's causal span: parented under whatever was ambient at
+        # spawn time, spanning spawn to finish.  Not activated here — the
+        # spawner's own context must survive the spawn call — _advance
+        # re-establishes it every time the generator resumes.
+        self.span = sim.span_begin("process", name, activate=False)
 
     def _start(self) -> None:
         self._advance(None)
@@ -73,6 +78,11 @@ class Process:
     def _advance(self, value: Any) -> None:
         if self.done:
             return
+        if self.span.span_id is not None:
+            # Resume under the process span so everything the generator
+            # schedules (sleeps, sends, child spawns) nests beneath it,
+            # regardless of whose context delivered this wakeup.
+            self.sim._span_ctx = self.span.span_id
         try:
             yielded = self.gen.send(value)
         except StopIteration as stop:
@@ -110,6 +120,7 @@ class Process:
         if error is not None:
             self.sim.trace("process.error", self.name,
                            f"process failed: {error!r}")
+        self.sim.span_end(self.span, "error" if error is not None else "ok")
         self.finished.fire(result)
 
     def interrupt(self) -> None:

@@ -29,7 +29,7 @@ from typing import Any, Callable, Dict, List, Optional
 from .errors import ScheduleError, SimulationFinished
 from .events import Event, Priority
 from .random import RandomStreams
-from .trace import TraceRecord, Tracer
+from .trace import NULL_SPAN, Span, TraceRecord, Tracer
 
 #: Upper bound on the event free list; beyond this, fired pooled events are
 #: simply dropped for the GC.  Large enough for the densest MAC workloads
@@ -51,6 +51,8 @@ class Simulator:
         trace: whether to record trace events (cheap to leave on; heavy
             interference sweeps turn it off).
         trace_capacity: optional bound on stored trace records.
+        trace_mode: bounded-buffer policy when ``trace_capacity`` is set —
+            ``"head"`` drops the newest records, ``"ring"`` the oldest.
 
     Example:
         >>> sim = Simulator(seed=1)
@@ -67,6 +69,7 @@ class Simulator:
         seed: int = 0,
         trace: bool = True,
         trace_capacity: Optional[int] = None,
+        trace_mode: str = "head",
     ) -> None:
         self._now: float = 0.0
         self._queue: List[Event] = []
@@ -80,7 +83,13 @@ class Simulator:
         #: number of threshold-triggered heap compactions (observability).
         self.compactions: int = 0
         self.streams = RandomStreams(seed)
-        self.tracer = Tracer(enabled=trace, capacity=trace_capacity)
+        self.tracer = Tracer(enabled=trace, capacity=trace_capacity,
+                             mode=trace_mode)
+        #: span id of the currently-active causal span (ambient context);
+        #: captured by every schedule call and restored by the run loop.
+        self._span_ctx: Optional[int] = None
+        #: lazily-created MetricsRegistry (see the ``metrics`` property).
+        self._metrics: Optional[Any] = None
         self.events_executed: int = 0
         #: arbitrary shared registry for components to find each other
         #: (e.g. the radio medium, the lookup service); keyed by name.
@@ -108,6 +117,7 @@ class Simulator:
             raise SimulationFinished("simulator has been stopped")
         event = Event(self._now + delay, priority, self._seq, fn, args)
         event.owner = self
+        event.ctx = self._span_ctx
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -128,6 +138,7 @@ class Simulator:
             )
         event = Event(time, priority, self._seq, fn, args)
         event.owner = self
+        event.ctx = self._span_ctx
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -159,9 +170,12 @@ class Simulator:
             event.fn = fn
             event.args = args
             event.cancelled = False
+            # Overwrite unconditionally: recycled events carry stale ctx.
+            event.ctx = self._span_ctx
         else:
             event = Event(self._now + delay, priority, self._seq, fn, args)
             event.pooled = True
+            event.ctx = self._span_ctx
         self._seq += 1
         heapq.heappush(self._queue, event)
 
@@ -223,7 +237,17 @@ class Simulator:
                 fn, args = event.fn, event.args
                 event.fn, event.args = None, ()  # break ref cycles
                 event.owner = None  # fired: late cancel() is a true no-op
-                fn(*args)  # type: ignore[misc]
+                ctx = event.ctx
+                if ctx is not None or self._span_ctx is not None:
+                    # Restore the causal span context captured at schedule
+                    # time, and clear it after — a span "continues" only in
+                    # the events it scheduled, never by wall-clock accident.
+                    self._span_ctx = ctx
+                    fn(*args)  # type: ignore[misc]
+                    self._span_ctx = None
+                else:
+                    # Hot path with no spans anywhere: two None tests only.
+                    fn(*args)  # type: ignore[misc]
                 executed += 1
                 if event.pooled and len(free) < FREE_LIST_CAP:
                     free.append(event)
@@ -331,6 +355,95 @@ class Simulator:
             self.tracer.emit(record)
         finally:
             self.tracer.enabled = enabled
+
+    # ------------------------------------------------------------------
+    # Causal spans
+    # ------------------------------------------------------------------
+    def span_begin(self, category: str, source: str, *,
+                   parent: Optional[Span] = None, activate: bool = True,
+                   **data: Any) -> Any:
+        """Open a causal span at the current time and return it.
+
+        The parent defaults to the *ambient* span — the one active in the
+        current event, which the scheduler carried over from whichever
+        event scheduled this one.  With ``activate`` (the default) the new
+        span becomes ambient, so events scheduled before the matching
+        :meth:`span_end` become its children.  With tracing disabled this
+        returns the shared :data:`repro.kernel.trace.NULL_SPAN` and costs
+        one predicate test.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return NULL_SPAN
+        parent_id = self._span_ctx if parent is None else parent.span_id
+        span = tracer.begin_span(self._now, category, source,
+                                 parent_id=parent_id, **data)
+        if activate:
+            self._span_ctx = span.span_id
+        return span
+
+    def span_end(self, span: Any, status: str = "ok") -> None:
+        """Close ``span`` at the current time.
+
+        If the span is still the ambient one, ambience reverts to its
+        parent.  Ending :data:`NULL_SPAN` (or any span from a disabled
+        tracer) is a no-op, so callers never need their own enabled check.
+        """
+        if span.span_id is None:
+            return
+        self.tracer.end_span(span, self._now, status)
+        if self._span_ctx == span.span_id:
+            self._span_ctx = span.parent_id
+
+    def span(self, category: str, source: str, **data: Any) -> "_SpanScope":
+        """Context manager: ``with sim.span("session.acquire", name): ...``.
+
+        Begins the span on entry, ends it on exit — with status ``"error"``
+        if the block raised — and restores whatever span was ambient before,
+        even if the block shifted ambience itself.
+        """
+        return _SpanScope(self, category, source, data)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> Any:
+        """The per-simulator :class:`repro.metrics.registry.MetricsRegistry`.
+
+        Created on first access (lazily — the metrics package imports this
+        module, so importing it eagerly here would be circular).
+        """
+        registry = self._metrics
+        if registry is None:
+            from ..metrics.registry import MetricsRegistry
+            registry = self._metrics = MetricsRegistry(self)
+        return registry
+
+
+class _SpanScope:
+    """Context manager returned by :meth:`Simulator.span`."""
+
+    __slots__ = ("sim", "category", "source", "data", "span", "_saved")
+
+    def __init__(self, sim: Simulator, category: str, source: str,
+                 data: Dict[str, Any]) -> None:
+        self.sim = sim
+        self.category = category
+        self.source = source
+        self.data = data
+        self.span: Any = NULL_SPAN
+
+    def __enter__(self) -> Any:
+        self._saved = self.sim._span_ctx
+        self.span = self.sim.span_begin(self.category, self.source,
+                                        **self.data)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.sim.span_end(self.span, "error" if exc_type else "ok")
+        self.sim._span_ctx = self._saved
+        return False
 
 
 class PeriodicTask:

@@ -2,6 +2,7 @@
 
 from .counters import Counter, CounterSet, Gauge
 from .recorder import LatencyRecorder
+from .registry import MetricsRegistry
 from .series import TimeSeries, periodic_sampler
 from .stats import (
     Summary,
@@ -16,6 +17,7 @@ __all__ = [
     "CounterSet",
     "Gauge",
     "LatencyRecorder",
+    "MetricsRegistry",
     "Summary",
     "TimeSeries",
     "confidence_halfwidth",

@@ -42,6 +42,19 @@ class LatencyRecorder:
         if self._open.pop(key, None) is not None:
             self.abandoned += 1
 
+    def close(self) -> int:
+        """Flush at end of run: count every still-open start as abandoned.
+
+        Without this, a sweep that tears a simulation down mid-handshake
+        silently loses its in-flight measurements — ``abandoned`` is how
+        they stay visible in summaries.  Returns how many were flushed;
+        idempotent (a second close flushes nothing).
+        """
+        flushed = len(self._open)
+        self.abandoned += flushed
+        self._open.clear()
+        return flushed
+
     def pending(self) -> int:
         return len(self._open)
 

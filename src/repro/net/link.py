@@ -28,7 +28,8 @@ class WiredPort:
         self.link = link
         self.address = validate_address(address)
         self.on_receive: Optional[Callable[[Frame], None]] = None
-        self.queue = DropTailQueue(link.queue_frames)
+        self.queue = DropTailQueue(link.queue_frames, link.sim,
+                                   f"wired.{self.address}")
         self._busy = False
         self.tx_frames = 0
         self.rx_frames = 0

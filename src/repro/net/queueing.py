@@ -8,16 +8,22 @@ sender so experiment E1 can shape offered load independently of the radio.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque
+from typing import Any, Deque, Optional
 
 from ..kernel.errors import ConfigurationError
 from ..kernel.scheduler import Simulator
 
 
 class DropTailQueue:
-    """Bounded FIFO that drops arrivals when full."""
+    """Bounded FIFO that drops arrivals when full.
 
-    def __init__(self, capacity: int) -> None:
+    Passing ``sim`` and ``name`` opts the queue into the simulator's
+    metrics registry: drops feed the aggregate ``queue.drops`` counter and
+    a ``queue.<name>`` probe exposes live occupancy at snapshot time.
+    """
+
+    def __init__(self, capacity: int, sim: Optional[Simulator] = None,
+                 name: Optional[str] = None) -> None:
         if capacity < 1:
             raise ConfigurationError("queue capacity must be >= 1")
         self.capacity = capacity
@@ -26,11 +32,24 @@ class DropTailQueue:
         self.dropped = 0
         self.dequeued = 0
         self.peak_depth = 0
+        self._m_drops = None
+        if sim is not None and name is not None:
+            metrics = sim.metrics
+            self._m_drops = metrics.counter("queue.drops")
+            metrics.register_probe(f"queue.{name}", lambda: {
+                "depth": len(self._items),
+                "peak_depth": self.peak_depth,
+                "enqueued": self.enqueued,
+                "dropped": self.dropped,
+                "drop_rate": self.drop_rate,
+            })
 
     def push(self, item: Any) -> bool:
         """Append ``item``; False (and a drop count) when the queue is full."""
         if len(self._items) >= self.capacity:
             self.dropped += 1
+            if self._m_drops is not None:
+                self._m_drops.add()
             return False
         self._items.append(item)
         self.enqueued += 1

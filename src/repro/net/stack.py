@@ -38,6 +38,16 @@ class NetworkStack:
         self.rx_frames = 0
         self.rx_unbound = 0
         self.tx_frames = 0
+        # Registry wiring: one aggregate counter for frames nobody was
+        # listening for (a misconfiguration smell) plus a per-node probe.
+        metrics = sim.metrics
+        self._m_rx_unbound = metrics.counter("net.rx_unbound")
+        metrics.register_probe(f"net.{self.address}", lambda: {
+            "rx_frames": self.rx_frames,
+            "rx_unbound": self.rx_unbound,
+            "tx_frames": self.tx_frames,
+            "ports": len(self._ports),
+        })
 
     # ------------------------------------------------------------------
     def bind(self, port: int, handler: Callable[[Frame], None]) -> Callable[[], None]:
@@ -81,6 +91,7 @@ class NetworkStack:
         handler = self._ports.get(frame.port)
         if handler is None:
             self.rx_unbound += 1
+            self._m_rx_unbound.add()
             self.sim.trace("stack.unbound", self.address,
                            f"no listener on port {frame.port}")
             return

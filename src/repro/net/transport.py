@@ -53,11 +53,12 @@ class _TxMessage:
 
     __slots__ = ("message_id", "dst", "obj", "size_bytes", "segments",
                  "unacked", "inflight", "on_delivered", "on_failed",
-                 "retries", "timer", "timeout", "started")
+                 "retries", "timer", "timeout", "started", "span")
 
     def __init__(self, message_id: int, dst: str, obj: Any, size_bytes: int,
                  count: int, on_delivered, on_failed, timeout: float,
                  started: float) -> None:
+        self.span = None  #: causal span from send() to final ack/failure
         self.message_id = message_id
         self.dst = dst
         self.obj = obj
@@ -147,6 +148,13 @@ class ReliableEndpoint:
         message_id = next(_message_ids)
         tx = _TxMessage(message_id, dst, obj, size_bytes, count,
                         on_delivered, on_failed, self.timeout, self.sim.now)
+        if self.sim.tracer.enabled:
+            # Not activated here: the caller's context must survive the
+            # send() call.  _push() makes it ambient while frames and the
+            # retransmission timer are scheduled, so they nest beneath it.
+            tx.span = self.sim.span_begin(
+                "transport.send", self.stack.address, activate=False,
+                msg=message_id, dst=dst, bytes=size_bytes, segments=count)
         self._tx[message_id] = tx
         queue = self._tx_queues.setdefault(dst, [])
         queue.append(message_id)
@@ -184,6 +192,19 @@ class ReliableEndpoint:
         return max(1, tx.size_bytes - MTU_BYTES * (tx.segments - 1))
 
     def _push(self, tx: _TxMessage) -> None:
+        """Fill the window under the message's span (see ``_push_now``)."""
+        span = tx.span
+        if span is None or span.span_id is None:
+            self._push_now(tx)
+            return
+        saved = self.sim._span_ctx
+        self.sim._span_ctx = span.span_id
+        try:
+            self._push_now(tx)
+        finally:
+            self.sim._span_ctx = saved
+
+    def _push_now(self, tx: _TxMessage) -> None:
         """Fill the window with not-yet-in-flight segments, arm the timer.
 
         Only segments that are neither acked nor already in flight are
@@ -234,6 +255,8 @@ class ReliableEndpoint:
                     self._push(next_tx)
                     break
                 queue.pop(0)
+        if tx.span is not None:
+            self.sim.span_end(tx.span, "ok" if success else "failed")
         if success:
             self.messages_delivered += 1
             if tx.on_delivered is not None:
@@ -289,7 +312,13 @@ class ReliableEndpoint:
             self.messages_received += 1
             self.bytes_received += segment.total_bytes
             if self.on_message is not None:
-                self.on_message(src, state.data, segment.total_bytes)
+                # The delivery span nests under whatever frame carried the
+                # final segment (a mac.tx or wired delivery), closing the
+                # causal chain send -> airtime -> deliver -> handler work.
+                with self.sim.span("transport.deliver", self.stack.address,
+                                   msg=segment.message_id, src=src,
+                                   bytes=segment.total_bytes):
+                    self.on_message(src, state.data, segment.total_bytes)
 
     # ------------------------------------------------------------------
     def pending(self) -> int:

@@ -70,7 +70,7 @@ class Transmission:
     """One in-flight frame on the medium."""
 
     __slots__ = ("sender", "frame", "channel", "rate", "power_dbm",
-                 "start", "end", "interferers")
+                 "start", "end", "interferers", "span")
 
     def __init__(self, sender: "CsmaMac", frame: Frame, channel: int,
                  rate: RateMode, power_dbm: float, start: float, end: float) -> None:
@@ -83,6 +83,8 @@ class Transmission:
         self.end = end
         #: transmissions that overlapped this one in time at any point.
         self.interferers: List["Transmission"] = []
+        #: causal span covering the airtime (None with tracing disabled).
+        self.span = None
 
 
 class WirelessMedium:
@@ -107,11 +109,35 @@ class WirelessMedium:
         self._active: List[Transmission] = []
         self._rng = sim.rng("radio.delivery")
         self._fading_rng = sim.rng("radio.fading")
-        self.total_transmissions = 0
-        self.total_deliveries = 0
-        self.total_decode_failures = 0
+        # Medium health lives in the per-simulator registry; ``unique=True``
+        # because tests legitimately run several media on one simulator.
+        metrics = sim.metrics
+        self._m_transmissions = metrics.counter("medium.transmissions",
+                                                unique=True)
+        self._m_deliveries = metrics.counter("medium.deliveries", unique=True)
+        self._m_decode_failures = metrics.counter("medium.decode_failures",
+                                                  unique=True)
+        metrics.register_probe("medium", lambda: {
+            "active_transmissions": len(self._active),
+            "stations": len(self._macs),
+            "channel_airtime": {str(ch): t for ch, t
+                                in sorted(self.channel_airtime.items())},
+        })
         #: cumulative airtime per channel — what a passive scan observes.
         self.channel_airtime: Dict[int, float] = {}
+
+    # Back-compat attribute names; the counters are the source of truth.
+    @property
+    def total_transmissions(self) -> int:
+        return int(self._m_transmissions.value)
+
+    @property
+    def total_deliveries(self) -> int:
+        return int(self._m_deliveries.value)
+
+    @property
+    def total_decode_failures(self) -> int:
+        return int(self._m_decode_failures.value)
 
     # ------------------------------------------------------------------
     def attach(self, mac: "CsmaMac") -> None:
@@ -172,9 +198,16 @@ class WirelessMedium:
             other.interferers.append(tx)
             tx.interferers.append(other)
         self._active.append(tx)
-        self.total_transmissions += 1
+        self._m_transmissions.add()
         self.channel_airtime[mac.channel] = \
             self.channel_airtime.get(mac.channel, 0.0) + duration
+        if self.sim.tracer.enabled:
+            # The airtime span: parented under whatever caused this frame
+            # (e.g. a transport send) and ambient while the finish event is
+            # scheduled, so delivery work nests beneath it.
+            tx.span = self.sim.span_begin(
+                "mac.tx", mac.address, frame=frame.frame_id, dst=frame.dst,
+                channel=mac.channel, rate=rate.name)
         self.sim.schedule_bound(duration, self._finish, (tx,),
                                 priority=_MEDIUM_PRI)
         self.sim.trace("mac.tx", mac.address,
@@ -216,6 +249,11 @@ class WirelessMedium:
                     if dst is None:
                         delivered_to_dst = True
         tx.sender._tx_done(tx, delivered_to_dst)
+        if tx.span is not None:
+            # Ended after _tx_done so the ACK-turnaround event (and any
+            # retry it triggers) is causally chained under this attempt.
+            self.sim.span_end(
+                tx.span, "failed" if delivered_to_dst is False else "ok")
 
     def _decode(self, tx: Transmission, rx: "CsmaMac") -> bool:
         """Did ``rx`` successfully decode ``tx``?  SINR through FER."""
@@ -255,9 +293,9 @@ class WirelessMedium:
         failure_probability = tx.rate.fer(ratio, tx.frame.wire_bytes)
         ok = bool(self._rng.random() >= failure_probability)
         if ok:
-            self.total_deliveries += 1
+            self._m_deliveries.add()
         else:
-            self.total_decode_failures += 1
+            self._m_decode_failures.add()
             self.sim.trace("mac.loss", rx.address,
                            f"decode failure #{tx.frame.frame_id} sinr={ratio:.1f}dB",
                            sinr_db=ratio, fer=failure_probability)
@@ -322,6 +360,15 @@ class CsmaMac:
             "tx_success": 0, "tx_retry_drops": 0, "rx_frames": 0,
             "busy_time": 0.0, "backoffs": 0,
         }
+        # Health signals in the shared registry: aggregate drop counters
+        # (cold paths only) plus a live per-station probe over ``stats``.
+        metrics = sim.metrics
+        self._m_queue_drops = metrics.counter("mac.queue_drops")
+        self._m_retry_drops = metrics.counter("mac.retry_drops")
+        metrics.register_probe(f"mac.{address}", lambda: {
+            **self.stats, "queue_depth": len(self._queue),
+            "channel": self.channel,
+        })
         medium.attach(self)
 
     # ------------------------------------------------------------------
@@ -331,6 +378,7 @@ class CsmaMac:
         """Queue a frame; returns False (and counts a drop) when full."""
         if len(self._queue) >= self.queue_limit:
             self.stats["queue_drops"] += 1
+            self._m_queue_drops.add()
             self.sim.trace("mac.qdrop", self.address,
                            f"queue full, dropping #{frame.frame_id}")
             return False
@@ -409,6 +457,7 @@ class CsmaMac:
             self._backoff()
             return
         self.stats["tx_retry_drops"] += 1
+        self._m_retry_drops.add()
         self.sim.issue("radio", self.address,
                        f"frame to {frame.dst} dropped after "
                        f"{self.retry_limit} retries (collisions or poor link)",

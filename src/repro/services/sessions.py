@@ -69,7 +69,23 @@ class SessionManager:
         self.evictions = 0
         self.invalid_tokens = 0
         self.on_evicted: Optional[Callable[[Session], None]] = None
-        self.wait_log: List[float] = []  #: time each queued grant waited
+        # Queue-wait latency lives in the registry; ``wait_log`` stays as
+        # an alias of the recorder's sample list for existing consumers.
+        metrics = sim.metrics
+        self._m_wait = metrics.latency(f"session.{resource}.wait",
+                                       unique=True)
+        self.wait_log: List[float] = self._m_wait.samples
+        self._m_waiters = metrics.gauge(f"session.{resource}.waiters",
+                                        unique=True)
+        metrics.register_probe(f"session.{resource}", lambda: {
+            "holder": self.holder,
+            "acquisitions": self.acquisitions,
+            "rejections": self.rejections,
+            "releases": self.releases,
+            "evictions": self.evictions,
+            "invalid_tokens": self.invalid_tokens,
+            "queue_length": len(self._waiters),
+        })
         #: FIFO of (owner, duration, callback, enqueued_at) waiting for the
         #: session — the "graceful resolution" mechanism the paper asks
         #: for instead of making users poll.
@@ -78,24 +94,28 @@ class SessionManager:
     # ------------------------------------------------------------------
     def acquire(self, owner: str, duration: float = 60.0) -> Session:
         """Grant the session to ``owner`` or raise :class:`SessionError`."""
-        if self._current is not None and not self._current.released:
-            self.rejections += 1
-            self.sim.issue(
-                "session", self.resource,
-                f"{owner} denied: {self._current.owner} holds the session",
-                holder=self._current.owner, requester=owner)
-            raise SessionError(
-                f"{self.resource} is in use by {self._current.owner}")
-        token = f"tok-{next(_session_seq)}-{self._rng.integers(1, 1 << 30)}"
-        lease = (self.leases.grant(owner, self.resource, duration)
-                 if self.leases is not None else None)
-        session = Session(next(_session_seq), owner, self.resource, token,
-                          self.sim.now, lease)
-        self._current = session
-        self.acquisitions += 1
-        self.sim.trace("session.acquire", self.resource,
-                       f"{owner} acquired the session")
-        return session
+        # The span makes session setup visible in the causal tree: when
+        # the request arrived via transport, this nests under the delivery
+        # span; a denial ends it with status "error".
+        with self.sim.span("session.acquire", self.resource, owner=owner):
+            if self._current is not None and not self._current.released:
+                self.rejections += 1
+                self.sim.issue(
+                    "session", self.resource,
+                    f"{owner} denied: {self._current.owner} holds the session",
+                    holder=self._current.owner, requester=owner)
+                raise SessionError(
+                    f"{self.resource} is in use by {self._current.owner}")
+            token = f"tok-{next(_session_seq)}-{self._rng.integers(1, 1 << 30)}"
+            lease = (self.leases.grant(owner, self.resource, duration)
+                     if self.leases is not None else None)
+            session = Session(next(_session_seq), owner, self.resource, token,
+                              self.sim.now, lease)
+            self._current = session
+            self.acquisitions += 1
+            self.sim.trace("session.acquire", self.resource,
+                           f"{owner} acquired the session")
+            return session
 
     def acquire_or_wait(self, owner: str,
                         callback: Callable[[Session], None],
@@ -112,6 +132,8 @@ class SessionManager:
             session = self.acquire(owner, duration)
         except SessionError:
             self._waiters.append((owner, duration, callback, self.sim.now))
+            self._m_wait.start(owner)
+            self._m_waiters.set(len(self._waiters))
             self.sim.trace("session.wait", self.resource,
                            f"{owner} queued (position {len(self._waiters)})")
             return None
@@ -126,17 +148,22 @@ class SessionManager:
         for entry in self._waiters:
             if entry[0] == owner:
                 self._waiters.remove(entry)
+                self._m_wait.cancel(owner)
+                self._m_waiters.set(len(self._waiters))
                 return True
         return False
 
     def _grant_next(self) -> None:
         while self._waiters and self.available:
-            owner, duration, callback, enqueued_at = self._waiters.pop(0)
+            owner, duration, callback, _enqueued_at = self._waiters.pop(0)
             try:
                 session = self.acquire(owner, duration)
             except SessionError:  # pragma: no cover - available was True
                 return
-            self.wait_log.append(self.sim.now - enqueued_at)
+            # stop() appends the wait to the recorder's samples — the very
+            # list ``wait_log`` aliases, so consumers see the same values.
+            self._m_wait.stop(owner)
+            self._m_waiters.set(len(self._waiters))
             self.sim.call_soon(callback, session)
 
     def validate(self, token: str) -> bool:

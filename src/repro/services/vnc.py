@@ -21,7 +21,6 @@ from typing import Callable, Optional
 
 from ..kernel.errors import ConfigurationError
 from ..kernel.scheduler import Simulator
-from ..metrics.recorder import LatencyRecorder
 from .framebuffer import Framebuffer
 
 #: Well-known stack port for the remote-framebuffer protocol.
@@ -132,7 +131,9 @@ class VNCViewer:
         self.frames_displayed = 0
         self.bytes_received = 0
         self.stalls = 0
-        self.latency = LatencyRecorder(sim, f"vnc.{device.name}")
+        # Registry-owned so frame latency appears in run snapshots and
+        # close() flushes in-flight requests as abandoned.
+        self.latency = sim.metrics.latency(f"vnc.{device.name}", unique=True)
 
     # ------------------------------------------------------------------
     def start(self) -> None:

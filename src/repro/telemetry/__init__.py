@@ -1,0 +1,30 @@
+"""Telemetry: JSONL export, per-run summaries, and per-layer reports.
+
+This package is the consumer side of the kernel's tracing and the metrics
+registry: :mod:`repro.telemetry.jsonl` streams records/spans/metric
+snapshots to disk in a stable line format, :mod:`repro.telemetry.summary`
+condenses a finished simulation into a small picklable dict (what parallel
+sweeps ship across the fork boundary), and :mod:`repro.telemetry.report`
+renders the per-LPC-layer run report the paper's classification story
+calls for.
+"""
+
+from .jsonl import (
+    JsonlWriter,
+    read_jsonl,
+    span_ancestry_categories,
+    span_lines,
+    write_run_jsonl,
+)
+from .report import layer_report
+from .summary import telemetry_summary
+
+__all__ = [
+    "JsonlWriter",
+    "layer_report",
+    "read_jsonl",
+    "span_ancestry_categories",
+    "span_lines",
+    "telemetry_summary",
+    "write_run_jsonl",
+]

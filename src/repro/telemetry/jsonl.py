@@ -1,0 +1,161 @@
+"""JSONL export of trace records, causal spans, and metric snapshots.
+
+One JSON object per line, every object carrying a ``type`` discriminator:
+
+* ``{"type": "record", "time": ..., "category": ..., "source": ...,
+  "message": ..., "data": {...}}``
+* ``{"type": "span", "span_id": ..., "parent_id": ..., "category": ...,
+  "source": ..., "start": ..., "end": ..., "status": ..., "data": {...}}``
+* ``{"type": "metrics", "time": ..., "counters": {...}, "gauges": {...},
+  "latencies": {...}, "probes": {...}}``
+
+Keys are sorted and floats are emitted verbatim, so the same seeded run
+produces a byte-identical file.  Payload values that are not JSON types
+(live objects riding in trace ``data``) degrade to ``repr`` instead of
+failing the whole export.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..kernel.scheduler import Simulator
+from ..kernel.trace import Span, TraceRecord
+
+
+def _default(obj: Any) -> str:
+    return repr(obj)
+
+
+def _dumps(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, default=_default)
+
+
+def record_line(record: TraceRecord) -> Dict[str, Any]:
+    return {
+        "type": "record",
+        "time": record.time,
+        "category": record.category,
+        "source": record.source,
+        "message": record.message,
+        "data": record.data,
+    }
+
+
+def span_line(span: Span) -> Dict[str, Any]:
+    return {
+        "type": "span",
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "category": span.category,
+        "source": span.source,
+        "start": span.start,
+        "end": span.end,
+        "status": span.status,
+        "data": span.data,
+    }
+
+
+def metrics_line(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    return {"type": "metrics", **snapshot}
+
+
+class JsonlWriter:
+    """Streams telemetry lines to a file; usable as a context manager.
+
+    The writer is what the CLI's ``--trace-out`` plugs into the kernel's
+    default-subscriber hooks: records and spans stream out as they happen,
+    so even a crashed run leaves a readable file.
+    """
+
+    def __init__(self, path: pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w")
+        self.lines = 0
+
+    def _write(self, payload: Dict[str, Any]) -> None:
+        self._fh.write(_dumps(payload) + "\n")
+        self.lines += 1
+
+    def write_record(self, record: TraceRecord) -> None:
+        self._write(record_line(record))
+
+    def write_span(self, span: Span) -> None:
+        self._write(span_line(span))
+
+    def write_metrics(self, snapshot: Dict[str, Any]) -> None:
+        self._write(metrics_line(snapshot))
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def write_run_jsonl(path: pathlib.Path, sim: Simulator,
+                    prefix: str = "",
+                    include_metrics: bool = True) -> Dict[str, int]:
+    """Export a finished run's stored telemetry to ``path``.
+
+    Records and spans are filtered by category ``prefix`` (empty = all);
+    a final metrics snapshot rides along by default.  Returns counts per
+    line type.
+    """
+    counts = {"records": 0, "spans": 0, "metrics": 0}
+    with JsonlWriter(path) as writer:
+        for record in sim.tracer.records:
+            if not prefix or record.matches(prefix):
+                writer.write_record(record)
+                counts["records"] += 1
+        for span in sim.tracer.spans:
+            if not prefix or span.matches(prefix):
+                writer.write_span(span)
+                counts["spans"] += 1
+        if include_metrics:
+            writer.write_metrics(sim.metrics.snapshot())
+            counts["metrics"] = 1
+    return counts
+
+
+def read_jsonl(path: pathlib.Path) -> List[Dict[str, Any]]:
+    """Parse a telemetry JSONL file back into a list of dicts."""
+    lines = []
+    with pathlib.Path(path).open() as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if raw:
+                lines.append(json.loads(raw))
+    return lines
+
+
+def span_lines(lines: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Just the span objects from parsed JSONL lines."""
+    return [line for line in lines if line.get("type") == "span"]
+
+
+def span_ancestry_categories(lines: Iterable[Dict[str, Any]],
+                             span_id: int) -> List[str]:
+    """Category chain from span ``span_id`` up to its root, leaf first.
+
+    Works on parsed JSONL (dicts), so a test or a post-hoc analysis can
+    reconstruct causality from the export alone — no live simulator
+    needed.
+    """
+    by_id: Dict[Optional[int], Dict[str, Any]] = {
+        line["span_id"]: line for line in span_lines(lines)}
+    chain: List[str] = []
+    seen = set()
+    current = by_id.get(span_id)
+    while current is not None and current["span_id"] not in seen:
+        seen.add(current["span_id"])
+        chain.append(current["category"])
+        current = by_id.get(current.get("parent_id"))
+    return chain

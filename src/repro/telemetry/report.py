@@ -1,0 +1,104 @@
+"""Per-LPC-layer run reports.
+
+The paper positions the LPC model as a tool for "properly classifying
+issues raised during discussion"; :func:`layer_report` does exactly that
+for a *live* run: every ``issue.*`` record is routed through the existing
+:class:`~repro.core.concerns.ConcernClassifier` and tallied into the
+five-layer, two-column grid of Figure 1, followed by the health signals
+the metrics registry collected.
+
+Output is deterministic: same seed, same report, byte for byte — counts
+come from the trace, ordering from the model's own layer enumeration and
+sorted metric names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from ..core.concerns import ConcernClassifier
+from ..core.layers import DEVICE_SIDE, USER_SIDE, Column, Layer, layers_top_down
+from ..kernel.scheduler import Simulator
+
+
+def _classify_issues(sim: Simulator, user_sources: Iterable[str],
+                     ) -> Tuple[Dict[Tuple[Layer, Column], int], int]:
+    classifier = ConcernClassifier()
+    users = set(user_sources)
+    counts: Dict[Tuple[Layer, Column], int] = {}
+    unclassified = 0
+    for record in sim.tracer.issues():
+        try:
+            concern = classifier.from_trace(record, users)
+        except Exception:
+            unclassified += 1
+            continue
+        column = (Column.USER if concern.column == Column.USER
+                  else Column.DEVICE)
+        key = (concern.layer, column)
+        counts[key] = counts.get(key, 0) + 1
+    return counts, unclassified
+
+
+def layer_report(sim: Simulator, user_sources: Iterable[str] = (),
+                 title: str = "LPC run report") -> str:
+    """Render the per-layer issue grid plus metrics for a finished run."""
+    counts, unclassified = _classify_issues(sim, user_sources)
+    tracer = sim.tracer
+    open_spans = sum(1 for span in tracer.spans if span.end is None)
+
+    lines = [title, "=" * len(title), ""]
+    lines.append(f"simulated time  : {sim.now:.2f} s")
+    lines.append(f"events executed : {sim.events_executed}")
+    lines.append(f"trace records   : {len(tracer.records)} "
+                 f"({tracer.dropped} dropped)")
+    lines.append(f"spans           : {len(tracer.spans)} "
+                 f"({open_spans} open)")
+    lines.append("")
+
+    header = (f"{'layer':<12} {'device artifact':<28} {'issues':>6}   "
+              f"{'user artifact':<20} {'issues':>6}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    device_total = 0
+    user_total = 0
+    for layer in layers_top_down():
+        device_count = counts.get((layer, Column.DEVICE), 0)
+        user_count = counts.get((layer, Column.USER), 0)
+        device_total += device_count
+        user_total += user_count
+        lines.append(
+            f"{layer.title:<12} {DEVICE_SIDE[layer]:<28} {device_count:>6}   "
+            f"{USER_SIDE[layer]:<20} {user_count:>6}")
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total':<12} {'':<28} {device_total:>6}   {'':<20} {user_total:>6}")
+    if unclassified:
+        lines.append(f"unclassified issues: {unclassified}")
+    lines.append("")
+
+    snapshot = sim.metrics.snapshot()
+    if snapshot["counters"]:
+        lines.append("counters")
+        lines.append("--------")
+        for name, value in snapshot["counters"].items():
+            lines.append(f"  {name:<32} {value:g}")
+        lines.append("")
+    if snapshot["gauges"]:
+        lines.append("gauges")
+        lines.append("------")
+        for name, gauge in snapshot["gauges"].items():
+            lines.append(f"  {name:<32} now={gauge['value']:g} "
+                         f"avg={gauge['time_average']:.3f} "
+                         f"peak={gauge['peak']:g}")
+        lines.append("")
+    if snapshot["latencies"]:
+        lines.append("latencies")
+        lines.append("---------")
+        for name, latency in snapshot["latencies"].items():
+            lines.append(
+                f"  {name:<32} n={latency['n']} "
+                f"mean={latency['mean']:.4f}s p95={latency['p95']:.4f}s "
+                f"abandoned={latency['abandoned']}")
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + "\n"

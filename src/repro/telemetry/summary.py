@@ -1,0 +1,56 @@
+"""Small, picklable per-run telemetry summaries.
+
+A parallel sweep cannot ship raw traces across the fork boundary — a
+dense-room run stores tens of thousands of records, and pickling them
+would erase the speedup.  :func:`telemetry_summary` reduces a finished
+simulation to a few hundred bytes of plain dict: event totals, trace
+volume, issues bucketed by LPC layer, and the final metrics snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable
+
+from ..core.concerns import ConcernClassifier
+from ..core.layers import Column
+from ..kernel.scheduler import Simulator
+
+
+def telemetry_summary(sim: Simulator,
+                      user_sources: Iterable[str] = ()) -> Dict[str, Any]:
+    """Summarise a finished run into a JSON/pickle-friendly dict.
+
+    Closes the metrics registry (still-open latency measurements become
+    ``abandoned``) — call this only when the run is over.  Issues that the
+    classifier cannot place land under ``"unclassified"`` instead of
+    raising: a summary must never kill the sweep that asked for it.
+    """
+    tracer = sim.tracer
+    classifier = ConcernClassifier()
+    users = set(user_sources)
+    issues_by_layer: Dict[str, int] = {}
+    issues_by_column: Dict[str, int] = {}
+    for record in tracer.issues():
+        try:
+            concern = classifier.from_trace(record, users)
+        except Exception:
+            issues_by_layer["unclassified"] = \
+                issues_by_layer.get("unclassified", 0) + 1
+            continue
+        layer_name = concern.layer.name.lower()
+        issues_by_layer[layer_name] = issues_by_layer.get(layer_name, 0) + 1
+        column_name = ("user" if concern.column == Column.USER else "device")
+        issues_by_column[column_name] = \
+            issues_by_column.get(column_name, 0) + 1
+    open_spans = sum(1 for span in tracer.spans if span.end is None)
+    return {
+        "sim_time": sim.now,
+        "events_executed": sim.events_executed,
+        "records": len(tracer.records),
+        "records_dropped": tracer.dropped,
+        "spans": len(tracer.spans),
+        "spans_open": open_spans,
+        "issues_by_layer": dict(sorted(issues_by_layer.items())),
+        "issues_by_column": dict(sorted(issues_by_column.items())),
+        "metrics": sim.metrics.close(),
+    }

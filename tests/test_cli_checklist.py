@@ -64,6 +64,52 @@ def test_cli_parser_requires_command():
         build_parser().parse_args([])
 
 
+def test_cli_demo_trace_writes_jsonl(capsys, tmp_path):
+    out = tmp_path / "demo.jsonl"
+    assert main(["demo", "--horizon", "20", "--trace", "mac",
+                 "--trace-out", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "JSONL lines" in captured.err
+    from repro.telemetry.jsonl import read_jsonl
+
+    lines = read_jsonl(out)
+    assert lines
+    assert all(line["category"].startswith("mac") for line in lines)
+    assert {line["type"] for line in lines} <= {"record", "span"}
+
+
+def test_cli_demo_trace_hooks_are_removed(capsys, tmp_path):
+    """A later simulator in the same process must not inherit the hooks."""
+    from repro.kernel.trace import _DEFAULT_SPAN_HOOKS, _DEFAULT_SUBSCRIBERS
+
+    before = (len(_DEFAULT_SUBSCRIBERS), len(_DEFAULT_SPAN_HOOKS))
+    assert main(["demo", "--horizon", "10", "--trace", "mac",
+                 "--trace-out", str(tmp_path / "t.jsonl")]) == 0
+    capsys.readouterr()
+    assert (len(_DEFAULT_SUBSCRIBERS), len(_DEFAULT_SPAN_HOOKS)) == before
+
+
+def test_cli_run_trace_flag(capsys, tmp_path):
+    out = tmp_path / "run.jsonl"
+    assert main(["run", "E4-hijack", "--seed", "5",
+                 "--trace", "session", "--trace-out", str(out)]) == 0
+    assert "hijacks_succeeded" in capsys.readouterr().out
+    assert out.exists()
+
+
+def test_cli_report_lpc_deterministic(capsys):
+    assert main(["report", "--lpc", "--horizon", "30"]) == 0
+    first = capsys.readouterr().out
+    assert main(["report", "--lpc", "--horizon", "30"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    assert "LPC run report" in first
+    # Both columns of the paper's Figure 1 grid are present.
+    assert "device artifact" in first and "user artifact" in first
+    for layer in Layer:
+        assert layer.title in first
+
+
 # ---------------------------------------------------------------------------
 # Checklist
 # ---------------------------------------------------------------------------

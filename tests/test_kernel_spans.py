@@ -1,0 +1,216 @@
+"""Tests for causal spans and span-context propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.errors import ConfigurationError
+from repro.kernel.process import spawn
+from repro.kernel.scheduler import Simulator
+from repro.kernel.trace import (NULL_SPAN, Tracer, add_default_span_hook,
+                                add_default_subscriber, span_ancestry,
+                                span_children)
+
+
+# ---------------------------------------------------------------------------
+# Span API basics
+# ---------------------------------------------------------------------------
+
+def test_span_begin_end_records_interval(sim):
+    span = sim.span_begin("work", "tester", item=7)
+    sim._now = 2.5
+    sim.span_end(span)
+    assert span.start == 0.0
+    assert span.end == 2.5
+    assert span.duration == 2.5
+    assert span.status == "ok"
+    assert span.data == {"item": 7}
+    assert sim.tracer.spans == [span]
+
+
+def test_span_parenting_follows_ambient_context(sim):
+    outer = sim.span_begin("outer", "tester")
+    inner = sim.span_begin("inner", "tester")
+    assert inner.parent_id == outer.span_id
+    sim.span_end(inner)
+    # Ambience reverted to the parent, so a sibling parents under outer.
+    sibling = sim.span_begin("sibling", "tester")
+    assert sibling.parent_id == outer.span_id
+
+
+def test_span_context_manager_sets_error_status(sim):
+    with pytest.raises(RuntimeError):
+        with sim.span("doomed", "tester"):
+            raise RuntimeError("boom")
+    (span,) = sim.tracer.spans
+    assert span.status == "error"
+    assert span.end is not None
+    assert sim._span_ctx is None
+
+
+def test_disabled_tracer_returns_null_span():
+    sim = Simulator(seed=1, trace=False)
+    span = sim.span_begin("work", "tester")
+    assert span is NULL_SPAN
+    sim.span_end(span)  # must be a no-op, not an error
+    with sim.span("work", "tester") as scoped:
+        assert scoped is NULL_SPAN
+    assert sim.tracer.spans == []
+
+
+def test_null_span_matches_nothing(sim):
+    assert not NULL_SPAN.matches("work")
+    assert not NULL_SPAN.matches("")
+
+
+# ---------------------------------------------------------------------------
+# Propagation across scheduled events
+# ---------------------------------------------------------------------------
+
+def test_span_context_crosses_schedule(sim):
+    parents = []
+
+    def child() -> None:
+        parents.append(sim.span_begin("child", "tester"))
+
+    root = sim.span_begin("root", "tester")
+    sim.schedule(1.0, child)
+    sim.span_end(root)
+    sim.run()
+    assert parents[0].parent_id == root.span_id
+
+
+def test_span_context_crosses_schedule_bound(sim):
+    parents = []
+
+    def child() -> None:
+        parents.append(sim.span_begin("child", "tester"))
+
+    root = sim.span_begin("root", "tester")
+    sim.schedule_bound(1.0, child)
+    sim.span_end(root)
+    sim.run()
+    assert parents[0].parent_id == root.span_id
+
+
+def test_recycled_events_do_not_leak_stale_context(sim):
+    """A pooled event scheduled outside any span must carry no parent."""
+    parents = []
+
+    def traced() -> None:
+        pass
+
+    def untraced() -> None:
+        parents.append(sim.span_begin("orphan", "tester"))
+
+    root = sim.span_begin("root", "tester")
+    sim.schedule_bound(1.0, traced)  # will be recycled with ctx set
+    sim.span_end(root)
+    sim.run()
+    # Second round: same pooled Event object, no ambient span.
+    sim.schedule_bound(1.0, untraced)
+    sim.run()
+    assert parents[0].parent_id is None
+
+
+def test_multi_hop_chain_reconstructable(sim):
+    """root -> hop1 -> hop2 across three events forms one ancestry chain."""
+    spans = {}
+
+    def hop(name: str, then=None) -> None:
+        span = sim.span_begin(name, "tester")
+        spans[name] = span
+        if then is not None:
+            sim.schedule(1.0, then)
+        sim.span_end(span)
+
+    hop("root", then=lambda: hop("hop1", then=lambda: hop("hop2")))
+    sim.run()
+    chain = span_ancestry(sim.tracer.spans, spans["hop2"])
+    assert [s.category for s in chain] == ["hop2", "hop1", "root"]
+    tree = span_children(sim.tracer.spans)
+    assert [s.category for s in tree[None]] == ["root"]
+    assert [s.category for s in tree[spans["root"].span_id]] == ["hop1"]
+
+
+def test_process_spans_cover_resumptions(sim):
+    """A process keeps its own span across yields; children parent under it."""
+    child_spans = []
+
+    def body():
+        yield 1.0
+        child_spans.append(sim.span_begin("step", "proc"))
+        yield 1.0
+
+    proc = spawn(sim, body(), "worker")
+    sim.run()
+    assert proc.span.status == "ok"
+    assert proc.span.end == 2.0
+    assert child_spans[0].parent_id == proc.span.span_id
+
+
+# ---------------------------------------------------------------------------
+# Bounded buffers: head vs ring
+# ---------------------------------------------------------------------------
+
+def test_head_mode_drops_newest():
+    sim = Simulator(seed=1, trace_capacity=2, trace_mode="head")
+    for i in range(5):
+        sim.trace("tick", "tester", str(i))
+    assert [r.message for r in sim.tracer.records] == ["0", "1"]
+    assert sim.tracer.dropped == 3
+
+
+def test_ring_mode_drops_oldest():
+    sim = Simulator(seed=1, trace_capacity=2, trace_mode="ring")
+    for i in range(5):
+        sim.trace("tick", "tester", str(i))
+    assert [r.message for r in sim.tracer.records] == ["3", "4"]
+    assert sim.tracer.dropped == 3
+
+
+def test_unknown_trace_mode_rejected():
+    with pytest.raises(ConfigurationError):
+        Tracer(mode="sideways")
+
+
+def test_subscribers_see_dropped_records():
+    """Streaming consumers still observe records the buffer rejected."""
+    sim = Simulator(seed=1, trace_capacity=1, trace_mode="head")
+    seen = []
+    sim.tracer.subscribe("tick", lambda r: seen.append(r.message))
+    for i in range(3):
+        sim.trace("tick", "tester", str(i))
+    assert seen == ["0", "1", "2"]
+
+
+# ---------------------------------------------------------------------------
+# Process-default hooks (the CLI's --trace plumbing)
+# ---------------------------------------------------------------------------
+
+def test_default_subscriber_reaches_future_tracers():
+    seen = []
+    remove = add_default_subscriber("tick", lambda r: seen.append(r.message))
+    try:
+        sim = Simulator(seed=1)
+        sim.trace("tick", "tester", "hello")
+        sim.trace("other", "tester", "filtered out")
+    finally:
+        remove()
+    assert seen == ["hello"]
+    # After removal, new tracers are clean again.
+    sim2 = Simulator(seed=1)
+    sim2.trace("tick", "tester", "late")
+    assert seen == ["hello"]
+
+
+def test_default_span_hook_fires_on_span_end():
+    ended = []
+    remove = add_default_span_hook(lambda s: ended.append(s.category))
+    try:
+        sim = Simulator(seed=1)
+        with sim.span("work", "tester"):
+            pass
+    finally:
+        remove()
+    assert ended == ["work"]

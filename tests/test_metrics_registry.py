@@ -1,0 +1,135 @@
+"""Tests for the per-simulator metrics registry, recorder close semantics,
+and summary-statistics edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.errors import ConfigurationError
+from repro.metrics.recorder import LatencyRecorder
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.stats import confidence_halfwidth, summarize
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_registry_is_lazy_and_cached(sim):
+    registry = sim.metrics
+    assert isinstance(registry, MetricsRegistry)
+    assert sim.metrics is registry
+
+
+def test_counter_get_or_create(sim):
+    a = sim.metrics.counter("mac.drops")
+    b = sim.metrics.counter("mac.drops")
+    assert a is b
+    a.add(3)
+    assert sim.metrics.snapshot()["counters"]["mac.drops"] == 3
+
+
+def test_unique_instruments_auto_suffix(sim):
+    a = sim.metrics.counter("medium.tx", unique=True)
+    b = sim.metrics.counter("medium.tx", unique=True)
+    assert a is not b
+    assert a.name == "medium.tx"
+    assert b.name == "medium.tx#2"
+    c = sim.metrics.counter("medium.tx", unique=True)
+    assert c.name == "medium.tx#3"
+
+
+def test_cross_kind_name_collision_rejected(sim):
+    sim.metrics.counter("session.wait")
+    with pytest.raises(ConfigurationError):
+        sim.metrics.gauge("session.wait")
+    with pytest.raises(ConfigurationError):
+        sim.metrics.latency("session.wait")
+
+
+def test_probe_contributes_to_snapshot_and_unregisters(sim):
+    depth = [4]
+    unregister = sim.metrics.register_probe("queue.q1",
+                                            lambda: {"depth": depth[0]})
+    assert sim.metrics.snapshot()["probes"]["queue.q1"] == {"depth": 4}
+    depth[0] = 9
+    assert sim.metrics.snapshot()["probes"]["queue.q1"] == {"depth": 9}
+    unregister()
+    assert "queue.q1" not in sim.metrics.snapshot()["probes"]
+
+
+def test_snapshot_shape_and_sorting(sim):
+    sim.metrics.counter("b.second").add()
+    sim.metrics.counter("a.first").add()
+    gauge = sim.metrics.gauge("depth")
+    gauge.set(2.0)
+    sim.metrics.latency("wait")
+    snap = sim.metrics.snapshot()
+    assert list(snap["counters"]) == ["a.first", "b.second"]
+    assert snap["time"] == sim.now
+    assert snap["gauges"]["depth"]["peak"] == 2.0
+    assert snap["latencies"]["wait"]["n"] == 0
+
+
+def test_close_flushes_open_latencies_and_is_idempotent(sim):
+    recorder = sim.metrics.latency("handshake")
+    recorder.start("in-flight")
+    snap = sim.metrics.close()
+    assert snap["latencies"]["handshake"]["abandoned"] == 1
+    assert snap["latencies"]["handshake"]["pending"] == 0
+    assert sim.metrics.closed
+    again = sim.metrics.close()
+    assert again["latencies"]["handshake"]["abandoned"] == 1
+
+
+# ---------------------------------------------------------------------------
+# LatencyRecorder.close
+# ---------------------------------------------------------------------------
+
+def test_recorder_close_counts_open_starts_as_abandoned(sim):
+    recorder = LatencyRecorder(sim, "wait")
+    recorder.start("a")
+    recorder.start("b")
+    recorder.stop("a")
+    assert recorder.close() == 1  # only "b" was still open
+    assert recorder.abandoned == 1
+    assert recorder.pending() == 0
+    assert recorder.close() == 0  # idempotent
+    assert recorder.abandoned == 1
+    assert len(recorder) == 1  # the completed sample survives
+
+
+# ---------------------------------------------------------------------------
+# stats edge cases
+# ---------------------------------------------------------------------------
+
+def test_summarize_empty_sample():
+    summary = summarize([])
+    assert summary.n == 0
+    assert summary.mean == 0.0
+    assert summary.std == 0.0
+    assert summary.p50 == 0.0
+    assert summary.p95 == 0.0
+
+
+def test_summarize_single_sample():
+    summary = summarize([3.5])
+    assert summary.n == 1
+    assert summary.mean == 3.5
+    assert summary.std == 0.0  # no ddof=1 blow-up on n=1
+    assert summary.minimum == summary.p50 == summary.p95 == summary.maximum == 3.5
+
+
+def test_summarize_all_equal_samples():
+    summary = summarize([2.0] * 10)
+    assert summary.n == 10
+    assert summary.mean == 2.0
+    assert summary.std == 0.0
+    assert summary.p50 == 2.0
+    assert summary.p95 == 2.0
+
+
+def test_confidence_halfwidth_degenerate_samples():
+    assert confidence_halfwidth([]) == 0.0
+    assert confidence_halfwidth([1.0]) == 0.0
+    assert confidence_halfwidth([5.0] * 4) == 0.0
