@@ -2,9 +2,11 @@
 #
 #   make test   - tier-1 test suite
 #   make bench  - E10 kernel microbenchmarks (pytest-benchmark statistics),
-#                 then BENCH_*.json emission + the >20% regression gate
-#                 against benchmarks/baseline_kernel.json
-#   make bench-baseline - re-measure and overwrite the committed baseline
+#                 then BENCH_*.json emission (kernel/sweeps/trace/scale —
+#                 scale runs 200/500/1000-station rooms culled vs
+#                 exhaustive) + the >20% regression gate against
+#                 benchmarks/baseline_kernel.json and baseline_scale.json
+#   make bench-baseline - re-measure and overwrite the committed baselines
 
 PYTHON ?= python
 export PYTHONPATH := src

@@ -9,10 +9,11 @@ Subcommands:
   scenario and print the layered LPC report plus paper coverage.
 * ``report --lpc`` — run the scripted-week scenario and print the
   per-LPC-layer telemetry report (issue grid plus metrics).
-* ``bench`` — run the E10 kernel/sweep microbenchmarks, write
-  ``BENCH_kernel.json`` / ``BENCH_sweeps.json`` / ``BENCH_trace.json``,
+* ``bench`` — run the E10 kernel/sweep microbenchmarks plus the
+  population-scale culling benchmark, write ``BENCH_kernel.json`` /
+  ``BENCH_sweeps.json`` / ``BENCH_trace.json`` / ``BENCH_scale.json``,
   and fail when event throughput regresses >20% against the committed
-  baseline.
+  baseline (or the culled/exhaustive outcomes diverge).
 
 ``run`` and ``demo`` accept ``--trace CATEGORY_PREFIX`` and
 ``--trace-out FILE``: trace records (and completed spans) stream to the
@@ -258,10 +259,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"events/sec, records x{trace['records_overhead_ratio']:.2f}, "
           f"spans x{trace['spans_overhead_ratio']:.2f} -> {trace_path}")
 
+    scale = bench.bench_scale()
+    scale_path = bench.write_bench_json(out_dir, scale)
+    top = scale["rows"][-1]
+    print(f"scale: {top['stations']} stations culled {top['culled_wall_s']:.2f}s "
+          f"vs exhaustive {top['exhaustive_wall_s']:.2f}s "
+          f"({scale['speedup_at_max']:.1f}x, cull rate {top['cull_rate']:.1%}, "
+          f"identical={scale['outcomes_identical']}) -> {scale_path}")
+
+    scale_baseline_path = baseline_path.parent / "baseline_scale.json"
     if args.update_baseline:
         baseline_path.parent.mkdir(parents=True, exist_ok=True)
         baseline_path.write_text(kernel_path.read_text())
+        scale_baseline_path.write_text(scale_path.read_text())
         print(f"baseline updated -> {baseline_path}")
+        print(f"baseline updated -> {scale_baseline_path}")
         return 0
 
     baseline = bench.load_baseline(baseline_path)
@@ -272,6 +284,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         baseline is not None
         and baseline.get("source") == trace.get("source")) else None
     failures += bench.check_trace_regression(trace, trace_baseline)
+    # Scale gate: outcome identity + speedup floor always; throughput vs
+    # the committed scale baseline when one exists.
+    failures += bench.check_scale_regression(
+        scale, bench.load_baseline(scale_baseline_path))
     for failure in failures:
         print(f"regression: {failure}", file=sys.stderr)
     if not failures:

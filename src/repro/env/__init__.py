@@ -20,6 +20,7 @@ from .radio import (
     NOISE_FLOOR_MW,
     RATE_BY_NAME,
     RATES,
+    SHADOWING_CLAMP_SIGMAS,
     PropagationModel,
     RateMode,
     best_rate,
@@ -29,6 +30,7 @@ from .radio import (
     sinr_db,
     sinr_from_mw,
 )
+from .spatialindex import SpatialGrid
 from .spectrum import (
     CHANNELS,
     NON_OVERLAPPING,
@@ -58,6 +60,8 @@ __all__ = [
     "RATE_BY_NAME",
     "RandomWaypoint",
     "RateMode",
+    "SHADOWING_CLAMP_SIGMAS",
+    "SpatialGrid",
     "StaticMobility",
     "TYPICAL_LEVELS_DB",
     "World",

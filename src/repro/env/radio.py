@@ -18,6 +18,7 @@ The model is deliberately classic so its shape is auditable:
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
@@ -131,14 +132,49 @@ def best_rate(sinr_db: float, frame_bytes: int = 1500,
 # Propagation
 # ---------------------------------------------------------------------------
 
+#: Shadowing values are clamped to this many sigmas.  The truncation is
+#: physically innocuous (a 6-sigma log-normal tail is unobservable) and it
+#: is what makes the medium's audibility culling *provably* conservative: a
+#: station outside the max-audible radius can never be rescued by an
+#: unbounded favourable shadowing draw.
+SHADOWING_CLAMP_SIGMAS: float = 6.0
+
+_MASK64: int = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finaliser: a high-quality 64-bit integer hash."""
+    x &= _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def _stable_name_hash(name: str) -> int:
+    """Process-stable 64-bit hash of an entity name (``hash()`` is salted)."""
+    return int.from_bytes(
+        hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest(), "little")
+
+
 class PropagationModel:
     """Log-distance path loss with frozen log-normal shadowing.
+
+    Shadowing is *hash-derived*: each pair's value is a pure function of
+    the model's base seed and the two entity names, not of the order in
+    which pairs were first queried.  That keeps a deployment's radio map
+    identical no matter which links a particular run happens to evaluate
+    (or skip — the medium's audibility culling depends on this), while a
+    different seed still produces a different map.  Values are clamped to
+    ±:data:`SHADOWING_CLAMP_SIGMAS` sigma.
 
     Args:
         exponent: path-loss exponent (2.0 free space, ~3.0 indoor office).
         reference_loss_db: loss at 1 m; 40 dB is the 2.4 GHz Friis value.
         shadowing_sigma_db: std-dev of per-pair log-normal shadowing.
-        rng: generator used to freeze shadowing values (pair-keyed).
+        rng: generator used to seed the pair-keyed shadowing hash.
     """
 
     def __init__(self, exponent: float = 3.0, reference_loss_db: float = 40.0,
@@ -152,7 +188,10 @@ class PropagationModel:
         self.reference_loss_db = float(reference_loss_db)
         self.shadowing_sigma_db = float(shadowing_sigma_db)
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        #: one draw fixes the whole radio map; everything after is hashing.
+        self._shadow_seed = int(self._rng.integers(0, _MASK64 + 1, dtype=np.uint64))
         self._shadowing: Dict[Tuple[str, str], float] = {}
+        self._name_hashes: Dict[str, int] = {}
 
     def path_loss_db(self, distance_m: np.ndarray) -> np.ndarray:
         """Deterministic path loss in dB at ``distance_m`` (vectorised)."""
@@ -165,14 +204,55 @@ class PropagationModel:
         d = distance_m if distance_m > 0.1 else 0.1
         return self.reference_loss_db + 10.0 * self.exponent * math.log10(d)
 
+    def distance_for_path_loss_db(self, loss_db: float) -> float:
+        """Inverse of :meth:`path_loss_scalar_db` (clipped to >= 0.1 m)."""
+        d = 10.0 ** ((loss_db - self.reference_loss_db) / (10.0 * self.exponent))
+        return d if d > 0.1 else 0.1
+
+    def max_audible_distance_m(self, tx_power_dbm: float, floor_dbm: float,
+                               margin_db: float = 0.0) -> float:
+        """Largest distance at which received power can still reach
+        ``floor_dbm`` — the medium's spatial-culling radius.
+
+        Conservative by construction: the budget credits the most
+        favourable shadowing the clamped model can produce
+        (:data:`SHADOWING_CLAMP_SIGMAS` sigma) plus any caller-supplied
+        ``margin_db`` (e.g. a fast-fading allowance), so no station beyond
+        the returned distance can ever be audible.
+        """
+        budget = (tx_power_dbm - floor_dbm + margin_db
+                  + SHADOWING_CLAMP_SIGMAS * self.shadowing_sigma_db)
+        if budget <= 0.0:
+            return 0.1
+        return self.distance_for_path_loss_db(budget)
+
+    def _hash_of(self, name: str) -> int:
+        value = self._name_hashes.get(name)
+        if value is None:
+            value = _stable_name_hash(name)
+            self._name_hashes[name] = value
+        return value
+
     def shadowing_db(self, tx: str, rx: str) -> float:
-        """Frozen shadowing term for the (unordered) pair ``{tx, rx}``."""
-        if self.shadowing_sigma_db == 0.0:
+        """Frozen shadowing term for the (unordered) pair ``{tx, rx}``.
+
+        A pure function of (seed, tx, rx): evaluation order never matters,
+        so a culled run and an exhaustive run see the same radio map.
+        """
+        sigma = self.shadowing_sigma_db
+        if sigma == 0.0:
             return 0.0
         key = (tx, rx) if tx <= rx else (rx, tx)
         value = self._shadowing.get(key)
         if value is None:
-            value = float(self._rng.normal(0.0, self.shadowing_sigma_db))
+            mixed = _mix64(_mix64(self._shadow_seed ^ self._hash_of(key[0]))
+                           ^ self._hash_of(key[1]))
+            # 53 uniform bits strictly inside (0, 1), through the normal
+            # inverse CDF, clamped to the documented +-6 sigma support.
+            uniform = ((mixed >> 11) + 0.5) / float(1 << 53)
+            value = sigma * float(special.ndtri(uniform))
+            clamp = SHADOWING_CLAMP_SIGMAS * sigma
+            value = -clamp if value < -clamp else (clamp if value > clamp else value)
             self._shadowing[key] = value
         return value
 

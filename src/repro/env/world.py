@@ -58,15 +58,23 @@ class World:
     loops.
     """
 
+    #: Initial capacity of the position buffer (doubles when exhausted).
+    _INITIAL_CAPACITY: int = 8
+
     def __init__(self, width: float = 100.0, height: float = 100.0) -> None:
         if width <= 0 or height <= 0:
             raise ConfigurationError(f"world extent must be positive, got {width}x{height}")
         self.width = float(width)
         self.height = float(height)
-        self._positions = np.empty((0, 2), dtype=np.float64)
+        # Positions live in a preallocated buffer with amortised doubling:
+        # ``place`` is O(1) amortised instead of the O(n) per-call copy an
+        # ``np.vstack`` incremental build costs (O(n^2) to fill a world).
+        self._buf = np.empty((self._INITIAL_CAPACITY, 2), dtype=np.float64)
+        self._n: int = 0
         self._names: List[str] = []
         self._index: Dict[str, int] = {}
         self._epoch: int = 0
+        self._grid = None  # lazily-built SpatialGrid backing ``within``
 
     # ------------------------------------------------------------------
     @property
@@ -79,21 +87,43 @@ class World:
         """
         return self._epoch
 
+    @property
+    def _positions(self) -> np.ndarray:
+        """The live ``(n, 2)`` position array (a view into the buffer).
+
+        Views go stale when a ``place`` forces the buffer to grow, so
+        consumers must re-fetch per operation rather than hold one.
+        """
+        return self._buf[: self._n]
+
+    def positions(self) -> np.ndarray:
+        """Read-only view of all positions in insertion order, ``(n, 2)``.
+
+        Used by the spatial index and vectorised consumers; treat it as
+        immutable and re-fetch after any ``place`` (the buffer may move).
+        """
+        return self._buf[: self._n]
+
     def place(self, name: str, xy: Sequence[float]) -> Placement:
         """Add an entity at ``xy``; names must be unique."""
         if name in self._index:
             raise ConfigurationError(f"entity {name!r} already placed")
         pos = self._clip(np.asarray(xy, dtype=np.float64))
-        self._index[name] = len(self._names)
+        if self._n == self._buf.shape[0]:
+            grown = np.empty((self._buf.shape[0] * 2, 2), dtype=np.float64)
+            grown[: self._n] = self._buf
+            self._buf = grown
+        self._buf[self._n] = pos
+        self._index[name] = self._n
         self._names.append(name)
-        self._positions = np.vstack([self._positions, pos[None, :]])
+        self._n += 1
         self._epoch += 1
         return Placement(name, self, self._index[name])
 
     def move(self, name: str, xy: Sequence[float]) -> None:
         """Teleport entity ``name`` to ``xy`` (clipped to the world bounds)."""
         idx = self._lookup(name)
-        self._positions[idx] = self._clip(np.asarray(xy, dtype=np.float64))
+        self._buf[idx] = self._clip(np.asarray(xy, dtype=np.float64))
         self._epoch += 1
 
     def position_of(self, name: str) -> np.ndarray:
@@ -124,8 +154,8 @@ class World:
         of :meth:`distances_from` entirely — profiling showed that one
         change worth ~25% of a dense interference sweep.
         """
-        pa = self._positions[self._lookup(a)]
-        pb = self._positions[self._lookup(b)]
+        pa = self._buf[self._lookup(a)]
+        pb = self._buf[self._lookup(b)]
         dx = pa[0] - pb[0]
         dy = pa[1] - pb[1]
         dist = (dx * dx + dy * dy) ** 0.5
@@ -158,11 +188,33 @@ class World:
         return np.where(dist > 0, np.maximum(dist, 0.1), dist)
 
     def within(self, name: str, radius: float) -> List[str]:
-        """Names of other entities within ``radius`` metres of ``name``."""
-        dists = self.distances_from(name)
-        me = self._lookup(name)
-        return [n for i, n in enumerate(self._names)
-                if i != me and dists[i] <= radius]
+        """Names of other entities within ``radius`` metres of ``name``.
+
+        Served by the shared :class:`~repro.env.spatialindex.SpatialGrid`,
+        so the cost scales with the entities the radius can actually reach
+        rather than the world population.  Results keep the brute-force
+        scan's insertion order exactly.
+        """
+        return self.grid().neighbors_within(name, radius)
+
+    def grid(self):
+        """The world's lazily-built spatial index (shared by consumers)."""
+        if self._grid is None:
+            from .spatialindex import SpatialGrid
+            self._grid = SpatialGrid(self)
+        return self._grid
+
+    def index_of(self, name: str) -> int:
+        """Insertion index of ``name`` (stable for the entity's lifetime)."""
+        return self._lookup(name)
+
+    def names_view(self) -> List[str]:
+        """The internal insertion-ordered name list — do not mutate."""
+        return self._names
+
+    def diagonal_m(self) -> float:
+        """World diagonal in metres — the upper bound on any separation."""
+        return float(np.hypot(self.width, self.height))
 
     def names(self) -> List[str]:
         return list(self._names)

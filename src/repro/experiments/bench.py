@@ -267,6 +267,125 @@ def bench_sweeps(workers: int = 4,
 
 
 # ---------------------------------------------------------------------------
+# Population-scale benchmark (spatial-grid audibility culling)
+# ---------------------------------------------------------------------------
+
+#: Station counts for the scale benchmark (the ISSUE's 200/500/1000 ladder).
+SCALE_STATIONS = (200, 500, 1000)
+
+#: Simulated seconds per scale point (broadcast-heavy, 2 frames/s/station).
+SCALE_DURATION_S: float = 2.0
+
+#: Machine-independent floor on culled-vs-exhaustive speedup at the largest
+#: population.  Both modes run in the same process back to back, so the
+#: ratio is portable; the ISSUE requires >=3x on the reference machine and
+#: this gate catches the fast path silently degenerating to a full scan.
+SCALE_MIN_SPEEDUP: float = 2.0
+
+
+def _run_broadcast_point(stations: int, culling: bool,
+                         duration: float) -> Dict[str, Any]:
+    from .workloads import broadcast_room
+
+    room = broadcast_room(stations, culling=culling)
+    t0 = time.perf_counter()
+    room.sim.run(until=duration)
+    wall = time.perf_counter() - t0
+    events = room.sim.events_executed
+    return {
+        "culling": culling,
+        "wall_s": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall else 0.0,
+        "deliveries": sorted(room.deliveries),
+        "tx_attempts": sum(m.stats["tx_attempts"] for m in room.macs),
+        "rx_frames": sum(m.stats["rx_frames"] for m in room.macs),
+        "culling_stats": room.medium.culling_stats(),
+    }
+
+
+def bench_scale(stations=SCALE_STATIONS,
+                duration: float = SCALE_DURATION_S) -> Dict[str, Any]:
+    """Wall time and events/sec for growing populations, culled vs not.
+
+    Each station count runs the same broadcast-heavy room twice — once
+    with the spatial-grid audible-set fast path, once with the exhaustive
+    all-stations scan — and the delivery logs must match exactly
+    (``outcomes_identical``): the fast path is only allowed to be faster,
+    never different.
+    """
+    rows: List[Dict[str, Any]] = []
+    identical = True
+    for n in stations:
+        culled = _run_broadcast_point(n, True, duration)
+        exhaustive = _run_broadcast_point(n, False, duration)
+        same = (culled["deliveries"] == exhaustive["deliveries"]
+                and culled["tx_attempts"] == exhaustive["tx_attempts"]
+                and culled["rx_frames"] == exhaustive["rx_frames"])
+        identical = identical and same
+        rows.append({
+            "stations": n,
+            "culled_wall_s": culled["wall_s"],
+            "exhaustive_wall_s": exhaustive["wall_s"],
+            "culled_events_per_sec": culled["events_per_sec"],
+            "exhaustive_events_per_sec": exhaustive["events_per_sec"],
+            "speedup": (exhaustive["wall_s"] / culled["wall_s"]
+                        if culled["wall_s"] else 0.0),
+            "events": culled["events"],
+            "deliveries": len(culled["deliveries"]),
+            "tx_attempts": culled["tx_attempts"],
+            "cull_rate": culled["culling_stats"]["cull_rate"],
+            "set_reuses": culled["culling_stats"]["set_reuses"],
+            "outcomes_identical": same,
+        })
+    top = rows[-1]
+    return {
+        "name": "scale",
+        "duration_s": duration,
+        "rows": rows,
+        "speedup_at_max": top["speedup"],
+        "culled_events_per_sec_at_max": top["culled_events_per_sec"],
+        "outcomes_identical": identical,
+        "source": "in-process",
+    }
+
+
+def check_scale_regression(current: Dict[str, Any],
+                           baseline: Optional[Dict[str, Any]],
+                           tolerance: float = REGRESSION_TOLERANCE,
+                           ) -> List[str]:
+    """Gate the scale benchmark.
+
+    Machine-independent checks always run: the culled and exhaustive runs
+    must produce identical outcomes, and the speedup at the largest
+    population must clear :data:`SCALE_MIN_SPEEDUP`.  When a like-sourced
+    committed baseline exists, culled throughput at the largest population
+    must additionally stay within ``tolerance`` of it.
+    """
+    failures = []
+    if not current.get("outcomes_identical", False):
+        failures.append(
+            "outcomes_identical: culled and exhaustive runs diverged — "
+            "the audibility fast path changed simulation outcomes")
+    speedup = current.get("speedup_at_max") or 0.0
+    if speedup < SCALE_MIN_SPEEDUP:
+        failures.append(
+            f"speedup_at_max: {speedup:.2f}x below the {SCALE_MIN_SPEEDUP:.1f}x "
+            f"floor — culling is no longer paying at the largest population")
+    if baseline is not None and baseline.get("source") == current.get("source"):
+        base = baseline.get("culled_events_per_sec_at_max")
+        now = current.get("culled_events_per_sec_at_max")
+        if base and now:
+            floor = base * (1.0 - tolerance)
+            if now < floor:
+                failures.append(
+                    f"culled_events_per_sec_at_max: {now:,.0f} is more than "
+                    f"{tolerance:.0%} below the committed baseline "
+                    f"{base:,.0f} (floor {floor:,.0f})")
+    return failures
+
+
+# ---------------------------------------------------------------------------
 # JSON persistence and the regression gate
 # ---------------------------------------------------------------------------
 

@@ -27,13 +27,14 @@ from .workloads import projector_room
 
 
 @experiment("E2-scale")
-def run(service_counts: Sequence[int] = (4, 16, 64),
+def run(service_counts: Sequence[int] = (4, 16, 64, 256),
         proxy_bytes: int = 4096, seed: int = 26,
         settle_s: float = 8.0, horizon: float = 40.0) -> ExperimentResult:
     """Lookup latency and reply size vs number of registered services."""
     result = ExperimentResult(
         "E2-scale", "lookup cost vs registered-service population",
-        ["services", "query", "latency_s", "matches", "reply_kb"])
+        ["services", "query", "latency_s", "matches", "reply_kb",
+         "stations", "cull_hit_rate"])
     for count in service_counts:
         room = projector_room(seed=seed, trace=False, register=False)
         sim = room.sim
@@ -73,12 +74,15 @@ def run(service_counts: Sequence[int] = (4, 16, 64),
                      ServiceTemplate(service_type=f"appliance-{count - 1}"))
         sim.schedule(settle_s + 10.0, measure, "broad", MATCH_ALL)
         sim.run(until=horizon)
+        stations = len(room.medium.stations())
+        cull_hit_rate = room.medium.culling_stats()["cull_rate"]
         for query_name in ("broad", "filtered"):
             latency, matches, reply_kb = measurements.get(
                 query_name, (float("nan"), 0, 0.0))
             result.add_row(services=count, query=query_name,
                            latency_s=latency, matches=matches,
-                           reply_kb=reply_kb)
+                           reply_kb=reply_kb, stations=stations,
+                           cull_hit_rate=cull_hit_rate)
     result.notes.append(
         "broad queries scale linearly in the service population (every "
         "match ships its proxy code); filtered templates stay flat — "

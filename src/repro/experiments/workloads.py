@@ -15,11 +15,13 @@ from typing import Callable, List, Optional, Tuple
 from ..discovery.client import ServiceDiscoveryClient
 from ..discovery.protocol import AnnouncingRegistry, RegistryLocator
 from ..discovery.registry import LookupService, REGISTRY_PORT
-from ..env.radio import RateMode
+from ..env.radio import PropagationModel, RateMode
 from ..env.world import World
 from ..kernel.scheduler import Simulator
+from ..net.addresses import BROADCAST
+from ..net.frames import Frame
 from ..phys.devices import AromaAdapter, Device, DigitalProjector, Laptop
-from ..phys.mac import WirelessMedium
+from ..phys.mac import CsmaMac, WirelessMedium
 from ..services.projector import SmartProjector, SmartProjectorClient
 
 
@@ -54,15 +56,18 @@ def projector_room(seed: int = 0, *, trace: bool = True,
                    registration_lease_s: float = 60.0,
                    announce_interval: float = 5.0,
                    viewer_fps: float = 15.0,
-                   register: bool = True) -> Room:
+                   register: bool = True,
+                   culling: bool = True) -> Room:
     """Build the Smart Projector room.
 
     When ``register`` is True the adapter registers both services as soon
     as it discovers the lookup service (a few hundred milliseconds in).
+    ``culling=False`` makes the medium scan every station exhaustively —
+    outcome-identical, used to validate the spatial-grid fast path.
     """
     sim = Simulator(seed=seed, trace=trace)
     world = World(width, height)
-    medium = WirelessMedium(sim, world)
+    medium = WirelessMedium(sim, world, culling=culling)
 
     hub = Device(sim, world, "hub", hub_pos, medium=medium, channel=channel,
                  fixed_rate=fixed_rate)
@@ -147,6 +152,67 @@ def interferer_field(room: Room, pairs: int, *,
                   start=float(rng.uniform(0, interval)))
         out.append(InterfererPair(sender, receiver))
     return out
+
+
+# ---------------------------------------------------------------------------
+# Broadcast-heavy scale workload (audibility-culling benchmark + equivalence)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BroadcastRoom:
+    """A large flat population of broadcasting stations."""
+
+    sim: Simulator
+    world: World
+    medium: WirelessMedium
+    macs: List[CsmaMac]
+    deliveries: List[Tuple[float, str, str]]
+
+
+def broadcast_room(stations: int, *, seed: int = 7, culling: bool = True,
+                   width: float = 1200.0, height: float = 1200.0,
+                   exponent: float = 4.0, sigma_db: float = 2.0,
+                   tx_power_dbm: float = 0.0, channel: int = 6,
+                   frames_per_second: float = 2.0,
+                   frame_bytes: int = 66,
+                   trace: bool = False) -> BroadcastRoom:
+    """Scatter ``stations`` broadcasting MACs over a large world.
+
+    The geometry is deliberately sparse (high path-loss exponent, modest
+    transmit power, kilometre-scale world) so each sender is audible to a
+    small neighbourhood — the regime where audibility culling pays.  Every
+    delivered frame is appended to ``deliveries`` as ``(time, src, rx)``,
+    giving the equivalence tests a byte-comparable outcome log.
+    """
+    sim = Simulator(seed=seed, trace=trace)
+    world = World(width, height)
+    propagation = PropagationModel(exponent=exponent,
+                                   shadowing_sigma_db=sigma_db,
+                                   rng=sim.rng("radio.shadowing"))
+    medium = WirelessMedium(sim, world, propagation=propagation,
+                            culling=culling)
+
+    placement_rng = sim.rng("scale.placement")
+    traffic_rng = sim.rng("scale.traffic")
+    deliveries: List[Tuple[float, str, str]] = []
+    macs: List[CsmaMac] = []
+    for i in range(stations):
+        name = f"st-{i}"
+        world.place(name, (placement_rng.uniform(0, width),
+                           placement_rng.uniform(0, height)))
+        mac = CsmaMac(sim, medium, name, channel=channel,
+                      tx_power_dbm=tx_power_dbm)
+        mac.on_receive = (lambda frame, rx=name:
+                          deliveries.append((sim.now, frame.src, rx)))
+        macs.append(mac)
+
+    interval = 1.0 / frames_per_second
+    for mac in macs:
+        sim.every(interval,
+                  lambda m=mac: m.send(Frame(m.address, BROADCAST,
+                                             payload_bytes=frame_bytes)),
+                  start=float(traffic_rng.uniform(0, interval)))
+    return BroadcastRoom(sim, world, medium, macs, deliveries)
 
 
 def presentation_workflow(room: Room,

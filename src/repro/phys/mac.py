@@ -23,18 +23,20 @@ from __future__ import annotations
 
 from collections import deque
 from math import log10 as _math_log10
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..env.linkcache import LinkCache
 from ..env.radio import (
     NOISE_FLOOR_DBM,
+    RATES,
     PropagationModel,
     RateMode,
     interference_sum_mw,
     sinr_from_mw,
 )
+from ..env.spatialindex import SpatialGrid
 from ..env.spectrum import overlap_factor, validate_channel
 from ..env.world import World
 from ..kernel.errors import ConfigurationError, NetworkError
@@ -65,6 +67,36 @@ _PROTOCOL_PRI: int = int(Priority.PROTOCOL)
 #: one vectorised NumPy pass (array setup only pays off beyond a handful).
 _VECTORISE_MIN: int = 8
 
+#: Audibility allowance for per-frame Rayleigh fading, dB.  The fading
+#: boost is ``10*log10(Exponential(1))``; the largest value a float64
+#: uniform can produce is ~28.7 dB, so a 30 dB margin makes it *impossible*
+#: for fading to rescue a station culled as inaudible.
+FADE_MARGIN_DB: float = 30.0
+
+_DECODE_FLOOR_SINR_DB: Optional[float] = None
+
+
+def _decode_floor_sinr_db() -> float:
+    """Highest SINR (dB) at which decoding is *certain* to fail.
+
+    Below this SINR the base-rate FER of the smallest possible frame
+    (header only) is exactly 1.0 in float64, so ``rng.random() >= fer``
+    can never succeed: skipping the decode attempt for such a station is
+    outcome-identical to evaluating it.  The base 1 Mb/s mode is the
+    binding case (largest processing gain); interference only lowers SINR
+    further, so a noise-only bound is conservative for every receiver.
+    """
+    global _DECODE_FLOOR_SINR_DB
+    if _DECODE_FLOOR_SINR_DB is None:
+        from ..net.frames import HEADER_BYTES
+
+        mode = RATES[0]
+        sinr = 0.0
+        while sinr > -40.0 and mode.fer(sinr, HEADER_BYTES) < 1.0:
+            sinr -= 0.5
+        _DECODE_FLOOR_SINR_DB = sinr
+    return _DECODE_FLOOR_SINR_DB
+
 
 class Transmission:
     """One in-flight frame on the medium."""
@@ -88,11 +120,26 @@ class Transmission:
 
 
 class WirelessMedium:
-    """The shared 2.4 GHz medium for one deployment."""
+    """The shared 2.4 GHz medium for one deployment.
+
+    With ``culling=True`` (the default) every per-frame scan — broadcast
+    delivery, promiscuous overhearing, carrier sense — iterates only the
+    sender's **audible set**: the stations whose cached link budget can
+    put received power above the weakest relevant threshold (the lower of
+    carrier-sense and base-rate decode sensitivity, credited with a
+    conservative fast-fading margin when fading is on).  Audible sets are
+    found through a :class:`~repro.env.spatialindex.SpatialGrid` radius
+    query and cached per (sender, topology epoch, config epoch), so the
+    cost of a transmission tracks physical neighbours, not population.
+    ``culling=False`` keeps the exhaustive scan over every station — the
+    reference mode the equivalence tests hold the grid path against
+    (outcomes are byte-identical either way; see docs/performance.md).
+    """
 
     def __init__(self, sim: Simulator, world: World,
                  propagation: Optional[PropagationModel] = None,
-                 fast_fading: bool = False) -> None:
+                 fast_fading: bool = False, culling: bool = True,
+                 grid_cell_m: Optional[float] = None) -> None:
         self.sim = sim
         self.world = world
         self.propagation = propagation or PropagationModel(
@@ -105,10 +152,25 @@ class WirelessMedium:
         #: default (log-normal shadowing alone keeps links stable, which
         #: most experiments want).
         self.fast_fading = fast_fading
+        #: spatial audibility culling (see class docstring).
+        self.culling = culling
+        self._grid = SpatialGrid(world, cell_size=grid_cell_m)
         self._macs: Dict[str, "CsmaMac"] = {}
         self._active: List[Transmission] = []
         self._rng = sim.rng("radio.delivery")
         self._fading_rng = sim.rng("radio.fading")
+        #: bumped on attach / channel retune / promiscuous toggle; keys the
+        #: station-list, per-channel-partition and audible-set caches.
+        self._config_epoch = 0
+        self._attach_order: Dict[str, int] = {}
+        self._stations_cache: Optional[List[str]] = None
+        self._partitions: Optional[Dict[int, List["CsmaMac"]]] = None
+        self._promisc_cache: Optional[Tuple["CsmaMac", ...]] = None
+        self._caches_key = (-1, -1)
+        #: sender address -> (key, tx_power, audible macs, audible names).
+        self._audible: Dict[str, tuple] = {}
+        self._min_cs_dbm = float("inf")
+        self._decode_floor_dbm = NOISE_FLOOR_DBM + _decode_floor_sinr_db()
         # Medium health lives in the per-simulator registry; ``unique=True``
         # because tests legitimately run several media on one simulator.
         metrics = sim.metrics
@@ -117,11 +179,24 @@ class WirelessMedium:
         self._m_deliveries = metrics.counter("medium.deliveries", unique=True)
         self._m_decode_failures = metrics.counter("medium.decode_failures",
                                                   unique=True)
+        # Culling health: how many stations the audible sets admit vs skip,
+        # and how often a set is rebuilt vs served from cache.  Counted in
+        # both modes (the exhaustive scan applies the same predicate), so
+        # equivalence runs agree on these too.
+        self._m_cull_audible = metrics.counter("medium.culling.audible",
+                                               unique=True)
+        self._m_cull_culled = metrics.counter("medium.culling.culled",
+                                              unique=True)
+        self._m_cull_builds = metrics.counter("medium.culling.set_builds",
+                                              unique=True)
+        self._m_cull_reuses = metrics.counter("medium.culling.set_reuses",
+                                              unique=True)
         metrics.register_probe("medium", lambda: {
             "active_transmissions": len(self._active),
             "stations": len(self._macs),
             "channel_airtime": {str(ch): t for ch, t
                                 in sorted(self.channel_airtime.items())},
+            "culling": self.culling_stats(),
         })
         #: cumulative airtime per channel — what a passive scan observes.
         self.channel_airtime: Dict[int, float] = {}
@@ -147,10 +222,142 @@ class WirelessMedium:
             raise ConfigurationError(
                 f"{mac.address!r} has no placement in the world; place the "
                 "device before attaching its NIC")
+        self._attach_order[mac.address] = len(self._macs)
         self._macs[mac.address] = mac
+        if mac.cs_threshold_dbm < self._min_cs_dbm:
+            self._min_cs_dbm = mac.cs_threshold_dbm
+        self.notify_config_change()
+
+    def notify_config_change(self) -> None:
+        """Invalidate station/partition/audible caches (attach, retune,
+        promiscuous toggle).  Cheap: one integer bump; caches rebuild
+        lazily on next use."""
+        self._config_epoch += 1
 
     def stations(self) -> List[str]:
-        return sorted(self._macs)
+        """Sorted attached addresses (cached; invalidated by attach)."""
+        if self._stations_cache is None or \
+                self._caches_key[0] != self._config_epoch:
+            self._refresh_station_caches()
+        return list(self._stations_cache)
+
+    def _refresh_station_caches(self) -> None:
+        self._stations_cache = sorted(self._macs)
+        partitions: Dict[int, List["CsmaMac"]] = {}
+        promisc = []
+        for mac in self._macs.values():  # attach order
+            partitions.setdefault(mac._channel, []).append(mac)
+            if mac._promiscuous:
+                promisc.append(mac)
+        self._partitions = partitions
+        self._promisc_cache = tuple(promisc)
+        self._caches_key = (self._config_epoch, 0)
+
+    def stations_on_channel(self, channel: int) -> List[str]:
+        """Attached addresses tuned to ``channel``, in attach order.
+
+        Served from the per-channel partition cache so channel-filtered
+        scans never touch the full station dict.
+        """
+        if self._partitions is None or \
+                self._caches_key[0] != self._config_epoch:
+            self._refresh_station_caches()
+        return [mac.address for mac in self._partitions.get(channel, ())]
+
+    def _promiscuous_macs(self) -> Tuple["CsmaMac", ...]:
+        if self._promisc_cache is None or \
+                self._caches_key[0] != self._config_epoch:
+            self._refresh_station_caches()
+        return self._promisc_cache
+
+    # ------------------------------------------------------------------
+    # Audibility culling
+    # ------------------------------------------------------------------
+    def audibility_floor_dbm(self) -> float:
+        """The weakest received power that can still matter to anyone:
+        the lower of the tightest carrier-sense threshold and the
+        base-rate decode floor (below which FER is exactly 1.0)."""
+        floor = self._decode_floor_dbm
+        cs = self._min_cs_dbm
+        return cs if cs < floor else floor
+
+    def max_audible_radius_m(self, tx_power_dbm: float) -> float:
+        """Conservative culling radius for a sender at ``tx_power_dbm``."""
+        return self.propagation.max_audible_distance_m(
+            tx_power_dbm, self.audibility_floor_dbm(),
+            FADE_MARGIN_DB if self.fast_fading else 0.0)
+
+    def _audible_entry(self, sender: "CsmaMac") -> tuple:
+        """``(key, tx_power, audible_macs, audible_names)`` for ``sender``.
+
+        Only used with culling on; cached per (topology epoch, config
+        epoch, tx power).  The audible predicate — cached link budget
+        above :meth:`audibility_floor_dbm` — is exactly the one the
+        exhaustive mode applies inline per frame; the grid radius provably
+        covers every station the predicate can pass (shadowing is clamped,
+        the fading margin exceeds the maximum possible fade), so the two
+        modes attempt the same decodes in the same order and outcomes are
+        byte-identical.
+        """
+        key = (self.world.epoch, self._config_epoch)
+        entry = self._audible.get(sender.address)
+        tx_power = sender.tx_power_dbm
+        if entry is not None and entry[0] == key and entry[1] == tx_power:
+            self._m_cull_reuses.add()
+            return entry
+        margin = FADE_MARGIN_DB if self.fast_fading else 0.0
+        floor = self.audibility_floor_dbm()
+        radius = self.propagation.max_audible_distance_m(
+            tx_power, floor, margin)
+        macs = self._macs
+        if radius < self.world.diagonal_m():
+            order = self._attach_order
+            names = [n for n in self._grid.neighbors_within(
+                sender.address, radius) if n in macs]
+            names.sort(key=order.__getitem__)
+            candidates = [macs[n] for n in names]
+        else:
+            # The radius covers the whole world: culling is a no-op here
+            # and the candidate set is everyone (see docs/performance.md).
+            candidates = list(macs.values())
+        cache = self.link_cache
+        sender_address = sender.address
+        audible = []
+        for mac in candidates:
+            if mac is sender:
+                continue
+            if (tx_power - cache.attenuation_db(sender_address, mac.address)
+                    + margin >= floor):
+                audible.append(mac)
+        entry = (key, tx_power, tuple(audible),
+                 frozenset(m.address for m in audible))
+        self._audible[sender_address] = entry
+        self._m_cull_builds.add()
+        self._m_cull_audible.add(len(audible))
+        self._m_cull_culled.add(len(macs) - 1 - len(audible))
+        return entry
+
+    def _audible_to(self, sender: "CsmaMac", rx: "CsmaMac") -> bool:
+        """The audible predicate for one directed link (no set build)."""
+        margin = FADE_MARGIN_DB if self.fast_fading else 0.0
+        return (sender.tx_power_dbm
+                - self.link_cache.attenuation_db(sender.address, rx.address)
+                + margin >= self.audibility_floor_dbm())
+
+    def culling_stats(self) -> Dict[str, float]:
+        """Culling health for benchmarks, probes and experiment rows."""
+        audible = self._m_cull_audible.value
+        culled = self._m_cull_culled.value
+        considered = audible + culled
+        return {
+            "enabled": self.culling,
+            "audible": audible,
+            "culled": culled,
+            "cull_rate": culled / considered if considered else 0.0,
+            "set_builds": self._m_cull_builds.value,
+            "set_reuses": self._m_cull_reuses.value,
+            "grid": self._grid.stats(),
+        }
 
     # ------------------------------------------------------------------
     # Channel state as seen by one station
@@ -163,13 +370,19 @@ class WirelessMedium:
         """Carrier sense at ``mac``: any audible overlapping transmission?"""
         cache = self.link_cache
         address = mac.address
-        channel = mac.channel
+        channel = mac._channel
         threshold = mac.cs_threshold_dbm
+        culling = self.culling
         for tx in self._active:
             if tx.sender is mac:
                 return True  # half-duplex: own transmission occupies us
             factor = overlap_factor(channel, tx.channel)
             if factor <= 0.0:
+                continue
+            # Inaudible stations can never carrier-sense the sender (their
+            # best-case power is below every threshold), so one set probe
+            # replaces the gain lookup and comparison.
+            if culling and address not in self._audible_entry(tx.sender)[3]:
                 continue
             power = cache.rx_power_dbm(tx.power_dbm, tx.sender.address,
                                        address)
@@ -218,16 +431,32 @@ class WirelessMedium:
     def _finish(self, tx: Transmission) -> None:
         self._active.remove(tx)
         frame = tx.frame
+        sender = tx.sender
+        channel = tx.channel
         delivered_to_dst: Optional[bool] = None
         if frame.dst == BROADCAST:
-            for address, mac in self._macs.items():
-                if mac is tx.sender:
-                    continue
-                if mac.channel == tx.channel and self._decode(tx, mac):
-                    mac._deliver(frame, tx.rate)
+            if self.culling:
+                # Grid-backed audible set, cached across frames: per-frame
+                # cost is O(audible neighbours), not O(stations).
+                for mac in self._audible_entry(sender)[2]:
+                    if mac._channel == channel and self._decode(tx, mac):
+                        mac._deliver(frame, tx.rate)
+            else:
+                # Exhaustive reference scan: every station, every frame,
+                # gated by the same audibility predicate so outcomes (and
+                # RNG consumption) match the culled path byte-for-byte.
+                for mac in self._macs.values():
+                    if (mac is not sender and mac._channel == channel
+                            and self._audible_to(sender, mac)
+                            and self._decode(tx, mac)):
+                        mac._deliver(frame, tx.rate)
         else:
             dst = self._macs.get(frame.dst)
-            if dst is None or dst.channel != tx.channel:
+            if dst is None or dst._channel != channel:
+                delivered_to_dst = False
+            elif not self._audible_to(sender, dst):
+                # Below the decode floor the FER is exactly 1.0: the
+                # attempt can never succeed, so skip it outright.
                 delivered_to_dst = False
             else:
                 delivered_to_dst = self._decode(tx, dst)
@@ -238,12 +467,14 @@ class WirelessMedium:
             # toward the wired network.  An off-segment destination (dst
             # is None) that a bridge picks up counts as delivered — the
             # bridge's genie-ACK, like a real AP acking on behalf of the
-            # distribution system.
-            for mac in self._macs.values():
-                if (mac.promiscuous and mac is not tx.sender
+            # distribution system.  The cached promiscuous partition keeps
+            # this loop off the full station dict.
+            for mac in self._promiscuous_macs():
+                if (mac is not sender
                         and mac is not dst
-                        and mac.channel == tx.channel
+                        and mac._channel == channel
                         and mac.address != frame.dst
+                        and self._audible_to(sender, mac)
                         and self._decode(tx, mac)):
                     mac._deliver(frame, tx.rate)
                     if dst is None:
@@ -343,7 +574,8 @@ class CsmaMac:
         self.retry_limit = retry_limit
         self.fer_target = fer_target
         self.receiving_disabled = False
-        #: bridge/AP mode: overhear unicast frames destined elsewhere.
+        # bridge/AP mode: overhear unicast frames destined elsewhere
+        # (property: toggling invalidates the medium's promiscuous cache).
         self.promiscuous = False
         self.on_receive: Optional[Callable[[Frame], None]] = None
 
@@ -370,6 +602,40 @@ class CsmaMac:
             "channel": self.channel,
         })
         medium.attach(self)
+
+    # ------------------------------------------------------------------
+    # Radio configuration (assignments invalidate medium caches)
+    # ------------------------------------------------------------------
+    @property
+    def channel(self) -> int:
+        """Current 2.4 GHz channel; assigning retunes the radio and
+        invalidates the medium's per-channel partitions."""
+        return self._channel
+
+    @channel.setter
+    def channel(self, channel: int) -> None:
+        validate_channel(channel)
+        if getattr(self, "_channel", None) == channel:
+            return
+        self._channel = channel
+        medium = getattr(self, "medium", None)
+        if medium is not None:
+            medium.notify_config_change()
+
+    @property
+    def promiscuous(self) -> bool:
+        """Bridge/AP mode: overhear unicast frames destined elsewhere."""
+        return self._promiscuous
+
+    @promiscuous.setter
+    def promiscuous(self, value: bool) -> None:
+        value = bool(value)
+        if getattr(self, "_promiscuous", None) == value:
+            return
+        self._promiscuous = value
+        medium = getattr(self, "medium", None)
+        if medium is not None:
+            medium.notify_config_change()
 
     # ------------------------------------------------------------------
     # Sending

@@ -126,3 +126,50 @@ def test_distance_between_unknown_entity(world):
     world.place("a", (0, 0))
     with pytest.raises(ConfigurationError):
         world.distance_between("a", "ghost")
+
+
+# ---------------------------------------------------------------------------
+# Amortised-doubling placement buffer
+# ---------------------------------------------------------------------------
+
+def test_place_five_thousand_entities_is_fast():
+    """Filling a big world must be O(n) amortised, not the O(n^2) an
+    np.vstack-per-place build costs.  5k placements finish comfortably
+    inside a generous wall-clock bound even on a loaded box."""
+    import time
+
+    world = World(1000.0, 1000.0)
+    t0 = time.perf_counter()
+    for i in range(5000):
+        world.place(f"e{i}", ((i * 37) % 1000, (i * 91) % 1000))
+    elapsed = time.perf_counter() - t0
+    assert len(world) == 5000
+    assert elapsed < 2.0, f"5k placements took {elapsed:.2f}s"
+
+
+def test_place_buffer_growth_preserves_positions():
+    world = World(50.0, 50.0)
+    expected = {}
+    for i in range(100):  # crosses several doubling boundaries
+        xy = (i % 50, (i * 3) % 50)
+        world.place(f"e{i}", xy)
+        expected[f"e{i}"] = xy
+    for name, xy in expected.items():
+        assert np.allclose(world.position_of(name), xy)
+    assert world.positions().shape == (100, 2)
+
+
+def test_positions_view_tracks_moves(world):
+    world.place("a", (1, 1))
+    world.place("b", (2, 2))
+    view = world.positions()
+    world.move("a", (9, 9))
+    assert np.allclose(view[0], [9, 9])  # view over the live buffer
+
+
+def test_epoch_bumps_on_place_and_move(world):
+    e0 = world.epoch
+    world.place("a", (0, 0))
+    assert world.epoch == e0 + 1
+    world.move("a", (1, 1))
+    assert world.epoch == e0 + 2

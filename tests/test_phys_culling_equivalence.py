@@ -1,0 +1,220 @@
+"""Culled vs exhaustive equivalence: the fast path may only be faster.
+
+The audibility-culling fast path must be *outcome-invisible*: both modes
+apply the identical audibility predicate before any RNG draw, so seeded
+runs produce byte-identical delivery logs, MAC statistics and event
+counts.  These tests pin that across three scenario families — the
+projector room with E2-style interferers, a broadcast-heavy flat
+population, and a mobile population whose movers cross grid cells —
+plus the medium's station/partition caches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.env.mobility import RandomWaypoint
+from repro.env.radio import PropagationModel
+from repro.env.world import World
+from repro.experiments.workloads import (
+    broadcast_room,
+    interferer_field,
+    projector_room,
+)
+from repro.kernel.scheduler import Simulator
+from repro.phys.mac import CsmaMac, WirelessMedium
+
+
+def mac_outcomes(medium: WirelessMedium):
+    """Per-station statistics, keyed by address (culling counters excluded:
+    they measure the *mechanism*, which legitimately differs by mode)."""
+    return {address: dict(mac.stats)
+            for address, mac in medium._macs.items()}
+
+
+# ---------------------------------------------------------------------------
+# Scenario 1: the projector room with co-channel interferers (E2 shape)
+# ---------------------------------------------------------------------------
+
+def run_interference_room(culling: bool):
+    room = projector_room(seed=11, trace=False, culling=culling)
+    interferer_field(room, 6, frames_per_second=25.0, frame_bytes=800)
+    room.sim.run(until=6.0)
+    return room
+
+
+def test_projector_room_with_interferers_identical():
+    culled = run_interference_room(True)
+    exhaustive = run_interference_room(False)
+    assert culled.sim.events_executed == exhaustive.sim.events_executed
+    assert mac_outcomes(culled.medium) == mac_outcomes(exhaustive.medium)
+    # The discovery workflow reached the same state too.
+    assert (len(culled.registry.items())
+            == len(exhaustive.registry.items()))
+
+
+# ---------------------------------------------------------------------------
+# Scenario 2: broadcast-heavy flat population (the benchmark workload)
+# ---------------------------------------------------------------------------
+
+def run_broadcast(culling: bool, stations: int = 150):
+    room = broadcast_room(stations, culling=culling)
+    room.sim.run(until=2.0)
+    return room
+
+
+def test_broadcast_population_identical():
+    culled = run_broadcast(True)
+    exhaustive = run_broadcast(False)
+    # Delivery logs compare (time, src, rx) — frame ids come from a global
+    # counter and are construction-order artefacts, not outcomes.
+    assert sorted(culled.deliveries) == sorted(exhaustive.deliveries)
+    assert culled.sim.events_executed == exhaustive.sim.events_executed
+    assert mac_outcomes(culled.medium) == mac_outcomes(exhaustive.medium)
+    # And culling actually culled — otherwise this test proves nothing.
+    stats = culled.medium.culling_stats()
+    assert stats["enabled"] is True
+    assert stats["culled"] > 0
+    assert stats["cull_rate"] > 0.5
+    assert exhaustive.medium.culling_stats()["enabled"] is False
+
+
+def test_broadcast_population_with_fading_identical():
+    """Rayleigh fading draws from the shared decode RNG; the 30 dB culling
+    margin must keep the draw sequence identical in both modes."""
+    def build(culling: bool):
+        sim = Simulator(seed=23, trace=False)
+        world = World(600.0, 600.0)
+        propagation = PropagationModel(exponent=3.5, shadowing_sigma_db=3.0,
+                                       rng=sim.rng("radio.shadowing"))
+        medium = WirelessMedium(sim, world, propagation=propagation,
+                                fast_fading=True, culling=culling)
+        rng = sim.rng("fade.placement")
+        deliveries = []
+        for i in range(60):
+            name = f"f{i}"
+            world.place(name, (rng.uniform(0, 600), rng.uniform(0, 600)))
+            mac = CsmaMac(sim, medium, name, channel=1, tx_power_dbm=2.0)
+            mac.on_receive = (lambda frame, rx=name:
+                              deliveries.append((sim.now, frame.src, rx)))
+            from repro.net.addresses import BROADCAST
+            from repro.net.frames import Frame
+            sim.every(0.5, lambda m=mac: m.send(
+                Frame(m.address, BROADCAST, payload_bytes=120)),
+                start=float(rng.uniform(0, 0.5)))
+        sim.run(until=3.0)
+        return deliveries, mac_outcomes(medium), sim.events_executed
+
+    culled = build(True)
+    exhaustive = build(False)
+    assert sorted(culled[0]) == sorted(exhaustive[0])
+    assert culled[1] == exhaustive[1]
+    assert culled[2] == exhaustive[2]
+
+
+# ---------------------------------------------------------------------------
+# Scenario 3: mobility — movers cross grid cells, the grid must track them
+# ---------------------------------------------------------------------------
+
+def run_mobile(culling: bool):
+    room = broadcast_room(80, culling=culling, width=800.0, height=800.0)
+    movers = [RandomWaypoint(room.sim, room.world, mac.address,
+                             speed_min=20.0, speed_max=60.0, pause=0.0,
+                             update_interval=0.25).start()
+              for mac in room.macs[:20]]
+    room.sim.run(until=4.0)
+    # Fast movers at 60 m/s cover up to 240 m — many grid cells.
+    assert any(m.legs_completed >= 0 for m in movers)
+    return room
+
+
+def test_mobile_population_identical():
+    culled = run_mobile(True)
+    exhaustive = run_mobile(False)
+    assert sorted(culled.deliveries) == sorted(exhaustive.deliveries)
+    assert culled.sim.events_executed == exhaustive.sim.events_executed
+    assert mac_outcomes(culled.medium) == mac_outcomes(exhaustive.medium)
+    # Movement forced grid rebuilds (epoch-keyed invalidation worked).
+    assert culled.medium.culling_stats()["grid"]["rebuilds"] > 1
+
+
+# ---------------------------------------------------------------------------
+# Audible sets and the medium's station/partition caches
+# ---------------------------------------------------------------------------
+
+def test_audible_set_matches_inline_predicate():
+    room = broadcast_room(100, culling=True)
+    room.sim.run(until=0.5)  # populate caches
+    medium = room.medium
+    for sender in room.macs[::17]:
+        entry = medium._audible_entry(sender)
+        expected = {mac.address for mac in medium._macs.values()
+                    if mac is not sender
+                    and medium._audible_to(sender, mac)}
+        assert set(entry[3]) == expected
+
+
+def test_stations_cache_invalidated_by_attach(sim, world):
+    medium = WirelessMedium(sim, world)
+    world.place("a", (1.0, 1.0))
+    CsmaMac(sim, medium, "a", channel=6)
+    assert medium.stations() == ["a"]
+    world.place("b", (2.0, 2.0))
+    CsmaMac(sim, medium, "b", channel=11)
+    assert medium.stations() == ["a", "b"]
+    assert medium.stations_on_channel(6) == ["a"]
+    assert medium.stations_on_channel(11) == ["b"]
+    assert medium.stations_on_channel(1) == []
+
+
+def test_partition_tracks_retune_and_promiscuous(sim, world):
+    medium = WirelessMedium(sim, world)
+    world.place("a", (1.0, 1.0))
+    world.place("b", (2.0, 2.0))
+    a = CsmaMac(sim, medium, "a", channel=6)
+    b = CsmaMac(sim, medium, "b", channel=6)
+    assert medium.stations_on_channel(6) == ["a", "b"]
+    assert medium._promiscuous_macs() == ()
+
+    b.channel = 11
+    assert medium.stations_on_channel(6) == ["a"]
+    assert medium.stations_on_channel(11) == ["b"]
+
+    a.promiscuous = True
+    assert medium._promiscuous_macs() == (a,)
+    a.promiscuous = False
+    assert medium._promiscuous_macs() == ()
+
+
+def test_audible_cache_reused_until_topology_moves():
+    room = broadcast_room(60, culling=True)
+    medium = room.medium
+    sender = room.macs[0]
+    medium._audible_entry(sender)
+    builds_before = medium.culling_stats()["set_builds"]
+    medium._audible_entry(sender)
+    stats = medium.culling_stats()
+    assert stats["set_builds"] == builds_before  # reused
+    assert stats["set_reuses"] >= 1
+
+    room.world.move(sender.address, (0.0, 0.0))
+    medium._audible_entry(sender)
+    assert medium.culling_stats()["set_builds"] == builds_before + 1
+
+
+def test_exhaustive_mode_never_builds_sets():
+    room = broadcast_room(60, culling=False)
+    room.sim.run(until=1.0)
+    stats = room.medium.culling_stats()
+    assert stats["set_builds"] == 0
+    assert stats["set_reuses"] == 0
+
+
+def test_small_room_culls_nothing():
+    """In the paper's 40x25 m room every station hears every other; the
+    predicate passes for all pairs and culling is a no-op."""
+    room = projector_room(seed=3, trace=False)
+    interferer_field(room, 4)
+    room.sim.run(until=3.0)
+    stats = room.medium.culling_stats()
+    assert stats["culled"] == 0
