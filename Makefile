@@ -1,6 +1,10 @@
 # Convenience entry points for the reproduction.
 #
-#   make test   - tier-1 test suite
+#   make test   - tier-1 test suite (includes the static-analysis
+#                 meta-check in tests/test_meta_checks.py)
+#   make lint   - ruff (when installed) + the repro.checks static pass:
+#                 determinism rules (LPC1xx) and layer boundaries
+#                 (LPC2xx) against checks_baseline.json
 #   make bench  - E10 kernel microbenchmarks (pytest-benchmark statistics),
 #                 then BENCH_*.json emission (kernel/sweeps/trace/scale —
 #                 scale runs 200/500/1000-station rooms culled vs
@@ -11,10 +15,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-baseline
+.PHONY: test lint bench bench-baseline
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping (pip install -e .[lint])"; \
+	fi
+	$(PYTHON) -m repro.cli check
 
 bench:
 	$(PYTHON) -m pytest benchmarks/test_bench_kernel.py -q \

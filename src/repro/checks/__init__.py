@@ -1,0 +1,30 @@
+"""Static analysis for the reproduction: determinism + layer boundaries.
+
+The two load-bearing promises of this repo — byte-identical seeded runs
+and a package tree that mirrors the paper's Layered Pervasive Computing
+model — are enforced here as an AST pass (``repro.cli check``,
+``make lint``, and the ``tests/test_meta_checks.py`` self-check).
+
+Public surface:
+
+* :func:`repro.checks.runner.run_checks` — the full pass.
+* :data:`repro.checks.findings.RULES` — the rule catalogue.
+* :data:`repro.checks.layers.LAYER_MAP` — the executable architecture.
+"""
+
+from .baseline import (Suppression, apply_baseline, load_baseline,
+                       write_baseline)
+from .determinism import check_determinism, check_source
+from .findings import ERROR, RULES, WARNING, Finding, Rule
+from .layers import (LAYER_MAP, ModuleImports, check_layers,
+                     extract_imports, import_graph)
+from .runner import CheckReport, discover_files, run_checks
+
+__all__ = [
+    "ERROR", "WARNING", "Finding", "Rule", "RULES",
+    "check_determinism", "check_source",
+    "LAYER_MAP", "ModuleImports", "check_layers", "extract_imports",
+    "import_graph",
+    "Suppression", "load_baseline", "apply_baseline", "write_baseline",
+    "CheckReport", "discover_files", "run_checks",
+]

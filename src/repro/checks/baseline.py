@@ -1,0 +1,141 @@
+"""JSON baseline (suppression) file for the static pass.
+
+A baseline entry silences one rule code at one path — optionally pinned
+to a line — and **must** carry a non-empty justification string that
+does not start with ``TODO``.  The file format::
+
+    {
+      "version": 1,
+      "suppressions": [
+        {"code": "LPC203", "path": "src/repro/kernel/scheduler.py",
+         "justification": "sanctioned lazy import breaking the ... cycle"}
+      ]
+    }
+
+Stale entries (matching no current finding) are reported as ``LPC002``
+findings so the baseline can only shrink or be re-justified, never rot.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..kernel.errors import ConfigurationError
+from .findings import RULES, Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One baselined violation, with its mandatory justification."""
+
+    code: str
+    path: str                      # posix path as reported by the runner
+    justification: str
+    line: Optional[int] = None     # pin to a line, or any line when None
+
+    def matches(self, finding: Finding) -> bool:
+        return (self.code == finding.code
+                and self.path == finding.path
+                and (self.line is None or self.line == finding.line))
+
+    def to_dict(self) -> Dict[str, object]:
+        entry: Dict[str, object] = {
+            "code": self.code, "path": self.path,
+            "justification": self.justification}
+        if self.line is not None:
+            entry["line"] = self.line
+        return entry
+
+
+def _validate(entry: Dict[str, object], index: int) -> Suppression:
+    for key in ("code", "path", "justification"):
+        if not isinstance(entry.get(key), str):
+            raise ConfigurationError(
+                f"baseline entry #{index}: missing/non-string '{key}'")
+    code = str(entry["code"])
+    if code not in RULES:
+        raise ConfigurationError(
+            f"baseline entry #{index}: unknown rule code {code!r}")
+    justification = str(entry["justification"]).strip()
+    if not justification or justification.upper().startswith("TODO"):
+        raise ConfigurationError(
+            f"baseline entry #{index} ({code} at {entry['path']}): "
+            "a real justification is mandatory (empty/TODO rejected)")
+    line = entry.get("line")
+    if line is not None and not isinstance(line, int):
+        raise ConfigurationError(
+            f"baseline entry #{index}: 'line' must be an integer")
+    return Suppression(code=code, path=str(entry["path"]),
+                       justification=justification, line=line)
+
+
+def load_baseline(path: pathlib.Path) -> List[Suppression]:
+    """Parse and validate a baseline file."""
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"baseline {path}: invalid JSON: {exc}")
+    if not isinstance(data, dict) or "suppressions" not in data:
+        raise ConfigurationError(
+            f"baseline {path}: expected an object with 'suppressions'")
+    entries = data["suppressions"]
+    if not isinstance(entries, list):
+        raise ConfigurationError(
+            f"baseline {path}: 'suppressions' must be a list")
+    return [_validate(entry, i) for i, entry in enumerate(entries)]
+
+
+def apply_baseline(findings: Iterable[Finding],
+                   suppressions: List[Suppression],
+                   ) -> Tuple[List[Finding], List[Finding], List[Finding]]:
+    """Split findings into (kept, suppressed) and flag stale entries.
+
+    Returns ``(kept, suppressed, stale)`` where ``stale`` contains one
+    ``LPC002`` finding per suppression that matched nothing.
+    """
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    used = [False] * len(suppressions)
+    for finding in findings:
+        hit = None
+        for i, suppression in enumerate(suppressions):
+            if suppression.matches(finding):
+                hit = i
+                break
+        if hit is None:
+            kept.append(finding)
+        else:
+            used[hit] = True
+            suppressed.append(finding)
+    rule = RULES["LPC002"]
+    stale = [
+        Finding(path=suppression.path, line=suppression.line or 1, col=0,
+                code="LPC002",
+                message=f"baseline entry for {suppression.code} matches "
+                        "no current finding",
+                severity=rule.severity, hint=rule.hint)
+        for suppression, was_used in zip(suppressions, used) if not was_used]
+    return kept, suppressed, stale
+
+
+def write_baseline(findings: Iterable[Finding], path: pathlib.Path,
+                   justification: str = "") -> int:
+    """Write a baseline template covering ``findings``.
+
+    The template carries empty justifications on purpose: the loader
+    refuses them, so an operator must edit in a real reason before the
+    baseline becomes usable.  Returns the number of entries written.
+    """
+    entries = [
+        Suppression(code=f.code, path=f.path, justification=justification,
+                    line=f.line).to_dict()
+        for f in sorted(set(findings))]
+    path.write_text(json.dumps(
+        {"version": BASELINE_VERSION, "suppressions": entries},
+        indent=2) + "\n")
+    return len(entries)

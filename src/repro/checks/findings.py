@@ -1,0 +1,146 @@
+"""Findings and the rule catalogue for the ``repro.checks`` static pass.
+
+Every rule the pass can emit lives in :data:`RULES` so that the CLI
+(``repro.cli check --list-rules``), the documentation
+(``docs/static_analysis.md``) and the tests enumerate the same catalogue.
+
+Rule code families:
+
+* ``LPC0xx`` — runner/baseline plumbing (unparseable file, stale
+  suppression).
+* ``LPC1xx`` — determinism: constructs that can make two runs of the
+  same seed diverge (wall clock, global RNG state, set-iteration order,
+  ``id()`` ordering, mutable default arguments).
+* ``LPC2xx`` — layering: imports that violate the declared Layered
+  Pervasive Computing map (see :mod:`repro.checks.layers`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: where, what rule, and how to fix it."""
+
+    path: str          # posix path, relative to the runner's base dir
+    line: int
+    col: int
+    code: str          # e.g. "LPC101"
+    message: str
+    severity: str = ERROR
+    hint: str = ""     # one-line fix suggestion
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def format(self) -> str:
+        text = f"{self.location()} {self.code} [{self.severity}] {self.message}"
+        if self.hint:
+            text += f" — {self.hint}"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Catalogue entry: what a code means and how violations are fixed."""
+
+    code: str
+    title: str
+    severity: str
+    rationale: str
+    hint: str
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def _rule(code: str, title: str, severity: str, rationale: str,
+          hint: str) -> Rule:
+    rule = Rule(code, title, severity, rationale, hint)
+    RULES[code] = rule
+    return rule
+
+
+# ---------------------------------------------------------------------------
+# LPC0xx — runner plumbing
+# ---------------------------------------------------------------------------
+_rule("LPC001", "unparseable file", ERROR,
+      "A file that does not parse cannot be analysed, so nothing in it is "
+      "checked; treat it like a build break.",
+      "fix the syntax error (python -m py_compile <file>)")
+
+_rule("LPC002", "stale baseline entry", WARNING,
+      "A suppression that matches no current finding hides nothing and "
+      "rots: when the violation comes back it is silently re-suppressed.",
+      "delete the entry from the baseline file")
+
+# ---------------------------------------------------------------------------
+# LPC1xx — determinism
+# ---------------------------------------------------------------------------
+_rule("LPC101", "wall-clock read", ERROR,
+      "time.time()/datetime.now() differ between runs, so any value derived "
+      "from them breaks byte-identical seeded replay. Simulated time comes "
+      "from Simulator.now; time.perf_counter() is allowed for measuring "
+      "host wall time that never feeds back into outcomes.",
+      "use sim.now for simulated time, time.perf_counter() for benchmarks")
+
+_rule("LPC102", "stdlib random module", ERROR,
+      "The stdlib random module defaults to global, OS-entropy-seeded "
+      "state shared by every caller, which destroys variance isolation "
+      "between components.",
+      "draw from a named repro.kernel.random.RandomStreams stream")
+
+_rule("LPC103", "unseeded or global-state RNG", ERROR,
+      "default_rng() with no seed, random.Random() with no seed, and the "
+      "legacy numpy global functions (np.random.rand, np.random.seed, ...) "
+      "produce different numbers each run or share hidden global state.",
+      "construct generators from RandomStreams.stream(name)")
+
+_rule("LPC104", "ordering-sensitive set iteration", ERROR,
+      "Iteration order of a set/frozenset of strings depends on "
+      "PYTHONHASHSEED, so any loop, comprehension, or list()/tuple() "
+      "conversion over one can reorder events between runs. Membership "
+      "tests and order-insensitive folds (sorted/min/max/sum/len/any/all) "
+      "are fine. Dict views are insertion-ordered and allowed.",
+      "wrap in sorted(...) or keep an insertion-ordered dict/list")
+
+_rule("LPC105", "id()-based ordering", ERROR,
+      "id() is an allocation address: sorting by it gives a different "
+      "order every process, even with identical seeds.",
+      "sort by a stable domain key (name, address, sequence number)")
+
+_rule("LPC106", "mutable default argument", ERROR,
+      "A list/dict/set default is created once and shared by every call, "
+      "so state leaks across calls and across simulator instances.",
+      "default to None and create the container inside the function")
+
+# ---------------------------------------------------------------------------
+# LPC2xx — layer boundaries
+# ---------------------------------------------------------------------------
+_rule("LPC201", "upward or sideways layer import", ERROR,
+      "A module-scope import from a lower LPC layer into a higher (or "
+      "sibling) one inverts the paper's layering: the kernel must never "
+      "know about services, env must never know about phys, and sibling "
+      "layers stay decoupled.",
+      "move the shared code down a layer, or invert with a callback/event")
+
+_rule("LPC202", "package missing from the layer map", ERROR,
+      "Every package under repro/ must have a declared layer rank; an "
+      "unmapped package is architecture that nobody placed.",
+      "add the package to repro.checks.layers.LAYER_MAP with a rank")
+
+_rule("LPC203", "lazy (function-scoped) upward import", WARNING,
+      "An upward import inside a function body or TYPE_CHECKING block "
+      "does not execute at import time, so it is the sanctioned escape "
+      "hatch for genuine cycles — but each one must be justified in the "
+      "baseline so the exceptions stay enumerable.",
+      "suppress in the baseline with a justification, or restructure")

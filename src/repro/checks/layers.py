@@ -1,0 +1,245 @@
+"""Import-graph layer checker (rule codes ``LPC2xx``).
+
+The paper's Layered Pervasive Computing model is declared here as an
+executable architecture rule: every package under ``repro/`` has a rank,
+and a module may only import packages with a *strictly lower* rank (or
+its own package).  Module-scope violations are errors (``LPC201``);
+function-scoped / ``TYPE_CHECKING`` imports are the sanctioned lazy
+escape hatch for genuine cycles and are reported as warnings
+(``LPC203``) that must be suppressed in the baseline with a
+justification.
+
+The declared order (lowest first)::
+
+    kernel                          # discrete-event substrate
+    metrics | env | resource        # leaf libraries over the kernel
+    net                             # wire formats + protocol machines
+    phys | discovery                # radios/MAC (uses net frames), lookup
+    user | services                 # people models, Aroma services
+    core                            # the LPC conceptual model itself
+    telemetry                       # layer reports over core + kernel
+    experiments                     # scenario harness over everything
+    cli / package root              # entry points
+
+Note one deliberate deviation from the ISSUE's nominal chain
+(kernel -> env -> phys -> net -> ...): ``net`` ranks *below* ``phys``
+because the MAC layer transmits :class:`repro.net.frames.Frame` objects
+— the frame/address definitions are wire formats, not protocol logic,
+and the dependency has pointed that way since the seed.  The layer map
+records the architecture as built; see docs/static_analysis.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .findings import RULES, Finding
+
+#: Package rank within ``repro``: imports must flow strictly downward.
+LAYER_MAP: Dict[str, int] = {
+    "kernel": 0,
+    "metrics": 1,
+    "env": 1,
+    "resource": 1,
+    "net": 2,
+    "phys": 3,
+    "discovery": 3,
+    "user": 4,
+    "services": 4,
+    "core": 5,
+    "telemetry": 6,
+    "experiments": 7,
+    "checks": 7,
+    "app": 8,   # package root: __init__, __main__, cli
+}
+
+#: Root-level modules (repro/<name>.py) folded into the "app" layer.
+_ROOT_MODULES = ("__init__", "__main__", "cli")
+
+MODULE_SCOPE = "module"
+LAZY_SCOPE = "lazy"
+
+
+@dataclass
+class ImportEdge:
+    """One ``import`` statement crossing a package boundary."""
+
+    target: str          # target package name under repro
+    line: int
+    scope: str           # MODULE_SCOPE or LAZY_SCOPE
+
+
+@dataclass
+class ModuleImports:
+    """The outgoing repro-internal edges of one module."""
+
+    path: str            # finding path (posix, relative to runner base)
+    package: str         # owning package under repro ("kernel", "app", ...)
+    edges: List[ImportEdge] = field(default_factory=list)
+
+
+def package_of(parts: Tuple[str, ...]) -> Optional[str]:
+    """Owning package for a module path relative to the ``repro`` dir.
+
+    ``("kernel", "scheduler.py")`` -> ``"kernel"``;
+    ``("cli.py",)`` -> ``"app"``; unknown root files -> their stem.
+    """
+    if not parts:
+        return None
+    if len(parts) == 1:
+        stem = parts[0][:-3] if parts[0].endswith(".py") else parts[0]
+        return "app" if stem in _ROOT_MODULES else stem
+    return parts[0]
+
+
+class _ImportCollector(ast.NodeVisitor):
+    """Collect repro-internal import edges with their scope."""
+
+    def __init__(self, module: ModuleImports,
+                 rel_parts: Tuple[str, ...]) -> None:
+        self.module = module
+        self.rel_parts = rel_parts    # module path parts under repro/
+        self.depth = 0                # >0 inside function/TYPE_CHECKING
+
+    # -- scope tracking -------------------------------------------------
+    def _lazy(self) -> bool:
+        return self.depth > 0
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.depth += 1
+        self.generic_visit(node)
+        self.depth -= 1
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.depth += 1
+        self.generic_visit(node)
+        self.depth -= 1
+
+    def visit_If(self, node: ast.If) -> None:
+        if self._is_type_checking(node.test):
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+        else:
+            self.generic_visit(node)
+
+    @staticmethod
+    def _is_type_checking(test: ast.AST) -> bool:
+        if isinstance(test, ast.Name):
+            return test.id == "TYPE_CHECKING"
+        if isinstance(test, ast.Attribute):
+            return test.attr == "TYPE_CHECKING"
+        return False
+
+    # -- edges ----------------------------------------------------------
+    def _add(self, target: Optional[str], line: int) -> None:
+        if target is None or target == self.module.package:
+            return
+        scope = LAZY_SCOPE if self._lazy() else MODULE_SCOPE
+        self.module.edges.append(ImportEdge(target, line, scope))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            parts = alias.name.split(".")
+            if parts[0] == "repro":
+                self._add(package_of(tuple(parts[1:])) if len(parts) > 1
+                          else "app", node.lineno)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if node.level == 0:
+            parts = module.split(".")
+            if parts[0] == "repro":
+                if len(parts) > 1:
+                    self._add(package_of(tuple(parts[1:])), node.lineno)
+                else:
+                    # from repro import kernel, core, ...
+                    for alias in node.names:
+                        self._add(package_of((alias.name,)), node.lineno)
+            return
+        # Relative import: resolve against this module's location.
+        # rel_parts includes the filename; the package dir chain is
+        # rel_parts[:-1].  "from ." strips 1 level, "from .." strips 2...
+        base = list(self.rel_parts[:-1])
+        strip = node.level - 1
+        if strip > len(base):
+            return  # beyond the repro root (caught by python itself)
+        base = base[:len(base) - strip] if strip else base
+        target_parts = tuple(base + (module.split(".") if module else []))
+        if target_parts:
+            self._add(package_of(target_parts), node.lineno)
+        else:
+            # from .. import phys, net  (at repro root)
+            for alias in node.names:
+                self._add(package_of((alias.name,)), node.lineno)
+
+
+def extract_imports(path: str, rel_parts: Tuple[str, ...],
+                    tree: ast.Module) -> ModuleImports:
+    """The repro-internal import edges of one parsed module.
+
+    ``rel_parts`` is the module's path relative to the ``repro`` package
+    directory, e.g. ``("phys", "mac.py")``.
+    """
+    module = ModuleImports(path=path,
+                           package=package_of(rel_parts) or "app")
+    _ImportCollector(module, rel_parts).visit(tree)
+    return module
+
+
+def _finding(path: str, line: int, code: str, message: str) -> Finding:
+    rule = RULES[code]
+    return Finding(path=path, line=line, col=0, code=code,
+                   message=message, severity=rule.severity, hint=rule.hint)
+
+
+def check_layers(modules: Iterable[ModuleImports],
+                 layer_map: Optional[Dict[str, int]] = None,
+                 ) -> List[Finding]:
+    """LPC2xx findings for a set of modules' import edges."""
+    ranks = LAYER_MAP if layer_map is None else layer_map
+    findings: List[Finding] = []
+    for module in modules:
+        src_rank = ranks.get(module.package)
+        if src_rank is None:
+            findings.append(_finding(
+                module.path, 1, "LPC202",
+                f"package '{module.package}' has no declared layer rank"))
+            continue
+        for edge in module.edges:
+            dst_rank = ranks.get(edge.target)
+            if dst_rank is None:
+                findings.append(_finding(
+                    module.path, edge.line, "LPC202",
+                    f"import of unmapped package '{edge.target}'"))
+                continue
+            if dst_rank < src_rank:
+                continue  # downward: allowed
+            direction = ("sideways (same rank)" if dst_rank == src_rank
+                         else "upward")
+            if edge.scope == MODULE_SCOPE:
+                findings.append(_finding(
+                    module.path, edge.line, "LPC201",
+                    f"{direction} import: layer '{module.package}' "
+                    f"(rank {src_rank}) imports '{edge.target}' "
+                    f"(rank {dst_rank})"))
+            else:
+                findings.append(_finding(
+                    module.path, edge.line, "LPC203",
+                    f"lazy {direction} import: layer '{module.package}' "
+                    f"(rank {src_rank}) imports '{edge.target}' "
+                    f"(rank {dst_rank}) inside a function/TYPE_CHECKING "
+                    "block"))
+    return findings
+
+
+def import_graph(modules: Iterable[ModuleImports]) -> Dict[str, List[str]]:
+    """Package-level adjacency (sorted, deduplicated) for reports."""
+    graph: Dict[str, set] = {}
+    for module in modules:
+        targets = graph.setdefault(module.package, set())
+        for edge in module.edges:
+            targets.add(edge.target)
+    return {pkg: sorted(targets) for pkg, targets in sorted(graph.items())}

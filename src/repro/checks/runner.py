@@ -1,0 +1,159 @@
+"""Run the full static pass over a file tree, in parallel.
+
+Per-file work (parse + determinism visitor + import extraction) fans out
+over a fork-based process pool — the same strategy as the parallel sweep
+runner — and the cross-file layer check runs over the aggregated import
+edges afterwards.  Findings are sorted ``(path, line, col, code)`` so
+serial and parallel runs produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import multiprocessing
+import pathlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .baseline import Suppression, apply_baseline, load_baseline
+from .determinism import check_determinism
+from .findings import RULES, Finding
+from .layers import ModuleImports, check_layers, extract_imports, import_graph
+
+
+@dataclass
+class CheckReport:
+    """Aggregated result of one static pass."""
+
+    findings: List[Finding]              # unsuppressed (includes stale)
+    suppressed: List[Finding] = field(default_factory=list)
+    files: int = 0
+    graph: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def format_text(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        lines.append(f"checked {self.files} files: "
+                     f"{len(self.findings)} finding(s), "
+                     f"{len(self.suppressed)} suppressed")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "version": 1,
+            "files": self.files,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "import_graph": self.graph,
+            "rules": {code: rule.title for code, rule in sorted(RULES.items())},
+        }, indent=2)
+
+
+def discover_files(paths: Sequence[pathlib.Path]) -> List[pathlib.Path]:
+    """All ``*.py`` files under ``paths`` (files pass through), sorted."""
+    out = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py":
+            out.append(path)
+    return sorted(set(out))
+
+
+def _repro_rel_parts(path: pathlib.Path) -> Optional[Tuple[str, ...]]:
+    """Path parts relative to the innermost ``repro`` package dir.
+
+    Files outside a ``repro`` tree get no layer identity (determinism
+    rules still apply to them).
+    """
+    parts = path.parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return tuple(parts[i + 1:])
+    return None
+
+
+def _display_path(path: pathlib.Path, base: Optional[pathlib.Path]) -> str:
+    if base is not None:
+        try:
+            return path.resolve().relative_to(base.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def analyze_file(path_base: Tuple[str, Optional[str]],
+                 ) -> Tuple[List[Finding], Optional[ModuleImports]]:
+    """Parse one file: determinism findings + import edges (picklable)."""
+    path = pathlib.Path(path_base[0])
+    base = pathlib.Path(path_base[1]) if path_base[1] else None
+    display = _display_path(path, base)
+    try:
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        rule = RULES["LPC001"]
+        return ([Finding(path=display, line=exc.lineno or 1,
+                         col=exc.offset or 0, code="LPC001",
+                         message=f"file does not parse: {exc.msg}",
+                         severity=rule.severity, hint=rule.hint)], None)
+    except OSError as exc:
+        rule = RULES["LPC001"]
+        return ([Finding(path=display, line=1, col=0, code="LPC001",
+                         message=f"file is unreadable: {exc}",
+                         severity=rule.severity, hint=rule.hint)], None)
+    findings = check_determinism(display, tree)
+    rel_parts = _repro_rel_parts(path)
+    module = (extract_imports(display, rel_parts, tree)
+              if rel_parts else None)
+    return findings, module
+
+
+def run_checks(paths: Sequence[pathlib.Path],
+               base: Optional[pathlib.Path] = None,
+               baseline: Optional[pathlib.Path] = None,
+               jobs: int = 1,
+               layer_map: Optional[Dict[str, int]] = None,
+               ) -> CheckReport:
+    """The full static pass: determinism + layers + baseline filtering.
+
+    ``base`` anchors finding paths (default: the current directory), so
+    the baseline file stays valid wherever the runner is invoked from.
+    ``jobs > 1`` forks a process pool for the per-file phase when the
+    platform supports fork; results are identical to the serial path.
+    """
+    base = base if base is not None else pathlib.Path.cwd()
+    files = discover_files(paths)
+    work = [(str(p), str(base)) for p in files]
+
+    results: List[Tuple[List[Finding], Optional[ModuleImports]]]
+    if jobs > 1 and "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=jobs,
+                                 mp_context=context) as pool:
+            results = list(pool.map(analyze_file, work, chunksize=8))
+    else:
+        results = [analyze_file(item) for item in work]
+
+    findings: List[Finding] = []
+    modules: List[ModuleImports] = []
+    for file_findings, module in results:
+        findings.extend(file_findings)
+        if module is not None:
+            modules.append(module)
+    findings.extend(check_layers(modules, layer_map))
+    findings.sort()
+
+    suppressions: List[Suppression] = []
+    if baseline is not None and baseline.exists():
+        suppressions = load_baseline(baseline)
+    kept, suppressed, stale = apply_baseline(findings, suppressions)
+    kept.extend(stale)
+    kept.sort()
+    return CheckReport(findings=kept, suppressed=suppressed,
+                       files=len(files), graph=import_graph(modules))

@@ -14,6 +14,10 @@ Subcommands:
   ``BENCH_sweeps.json`` / ``BENCH_trace.json`` / ``BENCH_scale.json``,
   and fail when event throughput regresses >20% against the committed
   baseline (or the culled/exhaustive outcomes diverge).
+* ``check`` — the determinism + layer-boundary static pass
+  (``repro.checks``); exits 1 on unsuppressed findings.  ``--format
+  json`` emits machine-readable findings, ``--list-rules`` prints the
+  rule catalogue, ``--write-baseline`` drafts a suppression template.
 
 ``run`` and ``demo`` accept ``--trace CATEGORY_PREFIX`` and
 ``--trace-out FILE``: trace records (and completed spans) stream to the
@@ -191,6 +195,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "gating against it")
     bench.set_defaults(func=_cmd_bench)
 
+    check = sub.add_parser(
+        "check", help="determinism + layer-boundary static analysis")
+    check.add_argument("paths", nargs="*", default=None,
+                       help="files/directories to analyse (default: src)")
+    check.add_argument("--format", choices=("text", "json"),
+                       default="text", dest="fmt",
+                       help="findings as human text or machine JSON")
+    check.add_argument("--baseline", default="checks_baseline.json",
+                       help="JSON suppression file (applied when it "
+                            "exists; entries need a justification)")
+    check.add_argument("--jobs", type=int, default=4,
+                       help="parallel analysis processes (1 = serial)")
+    check.add_argument("--list-rules", action="store_true",
+                       help="print the rule catalogue and exit")
+    check.add_argument("--write-baseline", metavar="FILE", default=None,
+                       help="write a suppression template covering the "
+                            "current findings (justifications left empty "
+                            "for the operator to fill in)")
+    check.set_defaults(func=_cmd_check)
+
     return parser
 
 
@@ -212,6 +236,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     print(build_report(budget=args.budget, only=args.only))
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .checks import RULES, run_checks, write_baseline
+
+    if args.list_rules:
+        for code, rule in sorted(RULES.items()):
+            print(f"{code} [{rule.severity}] {rule.title}")
+            print(f"    {rule.rationale}")
+            print(f"    fix: {rule.hint}")
+        return 0
+
+    paths = [pathlib.Path(p) for p in (args.paths or ["src"])]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+    baseline = pathlib.Path(args.baseline)
+    report = run_checks(paths, baseline=baseline, jobs=args.jobs)
+
+    if args.write_baseline is not None:
+        out = pathlib.Path(args.write_baseline)
+        count = write_baseline(report.findings, out)
+        print(f"baseline template: {count} entries -> {out} "
+              "(fill in justifications before use)")
+        return 0
+
+    print(report.to_json() if args.fmt == "json"
+          else report.format_text())
+    return 0 if report.clean else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:

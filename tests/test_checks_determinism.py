@@ -1,0 +1,214 @@
+"""Rule-by-rule fixtures for the LPC1xx determinism linter.
+
+Every rule is exercised with at least one seeded violation (positive)
+and one near-miss that must stay clean (negative), so a rule that stops
+firing — or starts over-firing — breaks the suite, not just the lint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checks import RULES, check_source
+
+
+def codes(source: str) -> list:
+    return [f.code for f in check_source("snippet.py", source)]
+
+
+# ---------------------------------------------------------------------------
+# LPC101 — wall clock
+# ---------------------------------------------------------------------------
+LPC101_POSITIVE = [
+    "import time\nstamp = time.time()\n",
+    "import time as t\nstamp = t.time_ns()\n",
+    "from time import time\nstamp = time()\n",
+    "import datetime\nnow = datetime.datetime.now()\n",
+    "from datetime import datetime\nnow = datetime.utcnow()\n",
+    "from datetime import date\ntoday = date.today()\n",
+]
+
+LPC101_NEGATIVE = [
+    # perf_counter is the sanctioned benchmark clock.
+    "import time\nt0 = time.perf_counter()\n",
+    "import time\ntime.sleep(0.1)\n",
+    "from datetime import datetime\nd = datetime.fromtimestamp(0)\n",
+    # A local function named time() is not the stdlib.
+    "def time():\n    return 0\nstamp = time()\n",
+]
+
+
+@pytest.mark.parametrize("source", LPC101_POSITIVE)
+def test_lpc101_flags_wall_clock(source):
+    assert "LPC101" in codes(source)
+
+
+@pytest.mark.parametrize("source", LPC101_NEGATIVE)
+def test_lpc101_ignores_safe_clocks(source):
+    assert "LPC101" not in codes(source)
+
+
+# ---------------------------------------------------------------------------
+# LPC102 — stdlib random module
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("source", [
+    "import random\n",
+    "import random as rnd\n",
+    "from random import randint\n",
+])
+def test_lpc102_flags_stdlib_random(source):
+    assert "LPC102" in codes(source)
+
+
+@pytest.mark.parametrize("source", [
+    "from repro.kernel.random import RandomStreams\n",
+    "import numpy.random\n",
+    "from numpy import random\n",
+])
+def test_lpc102_ignores_kernel_and_numpy_random(source):
+    assert "LPC102" not in codes(source)
+
+
+# ---------------------------------------------------------------------------
+# LPC103 — unseeded / global-state RNG
+# ---------------------------------------------------------------------------
+LPC103_POSITIVE = [
+    "from numpy.random import default_rng\ng = default_rng()\n",
+    "from numpy.random import default_rng\ng = default_rng(None)\n",
+    "import numpy as np\ng = np.random.default_rng(seed=None)\n",
+    "import numpy as np\nx = np.random.rand(3)\n",
+    "import numpy as np\nnp.random.seed(0)\n",
+    "import numpy.random as npr\nx = npr.shuffle([1, 2])\n",
+    "from numpy import random\nx = random.choice([1, 2])\n",
+    "from random import Random\nr = Random()\n",
+]
+
+LPC103_NEGATIVE = [
+    "from numpy.random import default_rng\ng = default_rng(7)\n",
+    "import numpy as np\ng = np.random.default_rng(1234)\n",
+    "import numpy as np\ng = np.random.default_rng(seed=1)\n",
+    "from random import Random\nr = Random(42)\n",
+    # Methods on an existing generator are stream-local, not global.
+    "def draw(rng):\n    return rng.random()\n",
+]
+
+
+@pytest.mark.parametrize("source", LPC103_POSITIVE)
+def test_lpc103_flags_unseeded_rng(source):
+    assert "LPC103" in codes(source)
+
+
+@pytest.mark.parametrize("source", LPC103_NEGATIVE)
+def test_lpc103_ignores_seeded_rng(source):
+    assert "LPC103" not in codes(source)
+
+
+# ---------------------------------------------------------------------------
+# LPC104 — ordering-sensitive set iteration
+# ---------------------------------------------------------------------------
+LPC104_POSITIVE = [
+    "for x in {1, 2, 3}:\n    print(x)\n",
+    "def f(xs):\n    for x in set(xs):\n        yield x\n",
+    "def f(xs):\n    return list(set(xs))\n",
+    "def f(xs):\n    return tuple(frozenset(xs))\n",
+    "def f(xs):\n    return [x for x in set(xs)]\n",
+    "def f(xs):\n    return {x: 1 for x in set(xs)}\n",
+    "def f(a, b):\n    for x in set(a) | set(b):\n        print(x)\n",
+    "def f(xs):\n    return list({x.name for x in xs})\n",
+]
+
+LPC104_NEGATIVE = [
+    # Order-insensitive consumption is fine.
+    "def f(xs):\n    return sorted(set(xs))\n",
+    "def f(xs):\n    return len(set(xs))\n",
+    "def f(xs):\n    return max(set(xs))\n",
+    "def f(xs, y):\n    return y in set(xs)\n",
+    # Dict views are insertion-ordered in CPython >= 3.7.
+    "def f(d):\n    for k in d.keys():\n        print(k)\n",
+    "def f(d):\n    return list(d.values())\n",
+    # Iterating a list/tuple is ordered.
+    "for x in [3, 1, 2]:\n    print(x)\n",
+]
+
+
+@pytest.mark.parametrize("source", LPC104_POSITIVE)
+def test_lpc104_flags_set_iteration(source):
+    assert "LPC104" in codes(source)
+
+
+@pytest.mark.parametrize("source", LPC104_NEGATIVE)
+def test_lpc104_ignores_ordered_iteration(source):
+    assert "LPC104" not in codes(source)
+
+
+# ---------------------------------------------------------------------------
+# LPC105 — id()-based ordering
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("source", [
+    "def f(xs):\n    return sorted(xs, key=id)\n",
+    "def f(xs):\n    xs.sort(key=id)\n",
+    "def f(xs):\n    return sorted(xs, key=lambda o: id(o))\n",
+])
+def test_lpc105_flags_id_sorting(source):
+    assert "LPC105" in codes(source)
+
+
+@pytest.mark.parametrize("source", [
+    "def f(xs):\n    return sorted(xs, key=str)\n",
+    "def f(xs):\n    return sorted(xs, key=lambda o: o.name)\n",
+    "def f(x):\n    return id(x)\n",   # id() alone is not an ordering
+])
+def test_lpc105_ignores_stable_keys(source):
+    assert "LPC105" not in codes(source)
+
+
+# ---------------------------------------------------------------------------
+# LPC106 — mutable default arguments
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("source", [
+    "def f(a, b=[]):\n    return b\n",
+    "def f(a, b={}):\n    return b\n",
+    "def f(a, b=set()):\n    return b\n",
+    "def f(a, *, b=list()):\n    return b\n",
+    "def f(a, b=dict()):\n    return b\n",
+    "async def f(a, b=[]):\n    return b\n",
+])
+def test_lpc106_flags_mutable_defaults(source):
+    assert "LPC106" in codes(source)
+
+
+@pytest.mark.parametrize("source", [
+    "def f(a, b=None):\n    return b or []\n",
+    "def f(a, b=()):\n    return b\n",
+    "def f(a, b=0, c='x'):\n    return b\n",
+    "def f(a, b=frozenset()):\n    return b\n",
+])
+def test_lpc106_ignores_immutable_defaults(source):
+    assert "LPC106" not in codes(source)
+
+
+# ---------------------------------------------------------------------------
+# LPC001 — unparseable source
+# ---------------------------------------------------------------------------
+def test_lpc001_on_syntax_error():
+    findings = check_source("bad.py", "def broken(:\n")
+    assert [f.code for f in findings] == ["LPC001"]
+    assert findings[0].severity == "error"
+
+
+def test_findings_carry_location_and_hint():
+    findings = check_source("mod.py", "import time\nx = time.time()\n")
+    (finding,) = findings
+    assert finding.path == "mod.py"
+    assert finding.line == 2
+    assert finding.code == "LPC101"
+    assert finding.hint == RULES["LPC101"].hint
+    assert "mod.py:2" in finding.format()
+
+
+def test_every_lpc1xx_rule_has_a_fixture():
+    """The catalogue and this file enumerate the same determinism rules."""
+    fixture_codes = {"LPC101", "LPC102", "LPC103", "LPC104", "LPC105",
+                     "LPC106"}
+    catalogue = {code for code in RULES if code.startswith("LPC1")}
+    assert catalogue == fixture_codes
