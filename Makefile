@@ -6,10 +6,14 @@
 #                 determinism rules (LPC1xx) and layer boundaries
 #                 (LPC2xx) against checks_baseline.json
 #   make bench  - E10 kernel microbenchmarks (pytest-benchmark statistics),
-#                 then BENCH_*.json emission (kernel/sweeps/trace/scale —
-#                 scale runs 200/500/1000-station rooms culled vs
-#                 exhaustive) + the >20% regression gate against
-#                 benchmarks/baseline_kernel.json and baseline_scale.json
+#                 then BENCH_*.json emission (kernel/sweeps/trace/scale/
+#                 cache — scale runs 200/500/1000-station rooms culled vs
+#                 exhaustive; cache runs the E2 sweep uncached vs cold vs
+#                 warm through the content-addressed run cache) + the
+#                 regression gates: >20% throughput vs baseline_kernel
+#                 .json / baseline_scale.json, and the cache gate (rows
+#                 identical, warm speedup >= 5x, cold overhead <= 5%)
+#                 vs baseline_cache.json
 #   make bench-baseline - re-measure and overwrite the committed baselines
 
 PYTHON ?= python

@@ -10,10 +10,15 @@ Subcommands:
 * ``report --lpc`` — run the scripted-week scenario and print the
   per-LPC-layer telemetry report (issue grid plus metrics).
 * ``bench`` — run the E10 kernel/sweep microbenchmarks plus the
-  population-scale culling benchmark, write ``BENCH_kernel.json`` /
-  ``BENCH_sweeps.json`` / ``BENCH_trace.json`` / ``BENCH_scale.json``,
-  and fail when event throughput regresses >20% against the committed
-  baseline (or the culled/exhaustive outcomes diverge).
+  population-scale culling and run-cache benchmarks, write
+  ``BENCH_kernel.json`` / ``BENCH_sweeps.json`` / ``BENCH_trace.json`` /
+  ``BENCH_scale.json`` / ``BENCH_cache.json``, and fail when event
+  throughput regresses >20% against the committed baseline (or the
+  culled/exhaustive outcomes diverge, or the warm-cache replay stops
+  paying).
+* ``cache`` — inspect (``stats``) or empty (``clear``) the
+  content-addressed run cache behind incremental sweeps; honours
+  ``REPRO_CACHE_DIR``.
 * ``check`` — the determinism + layer-boundary static pass
   (``repro.checks``); exits 1 on unsuppressed findings.  ``--format
   json`` emits machine-readable findings, ``--list-rules`` prints the
@@ -103,11 +108,37 @@ def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
                         help="JSONL destination (default: trace.jsonl)")
 
 
+@contextlib.contextmanager
+def _cache_policy(args: argparse.Namespace) -> Iterator[None]:
+    """Apply ``--cache`` / ``--no-cache`` for the body via the env knobs
+    every ``sweep()`` consults, restoring them afterwards so in-process
+    callers (tests) see no leakage."""
+    import os
+
+    from .experiments.cache import CACHE_OFF_ENV, CACHE_ON_ENV
+
+    updates = {}
+    if getattr(args, "cache", False):
+        updates[CACHE_ON_ENV] = "1"
+    if getattr(args, "no_cache", False):
+        updates[CACHE_OFF_ENV] = "1"
+    saved = {name: os.environ.get(name) for name in updates}
+    os.environ.update(updates)
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.seed is not None:
         kwargs["seed"] = args.seed
-    with _trace_export(args):
+    with _trace_export(args), _cache_policy(args):
         try:
             result = run_experiment(args.experiment_id, **kwargs)
         except ExperimentError as exc:
@@ -117,6 +148,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # Experiment without a seed parameter: run with defaults.
             result = run_experiment(args.experiment_id)
     print(result.format_table())
+    if result.meta.get("cache") is not None:
+        cache_meta = result.meta["cache"]
+        print(f"cache: {cache_meta['hits']:g} hits / "
+              f"{cache_meta['misses']:g} misses "
+              f"(hit rate {cache_meta['hit_rate']:.1%})", file=sys.stderr)
     return 0
 
 
@@ -153,6 +189,12 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment_id")
     run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--cache", action="store_true",
+                     help="replay (point, seed) pairs from the "
+                          "content-addressed run cache where possible")
+    run.add_argument("--no-cache", action="store_true",
+                     help="force the run cache off (overrides --cache "
+                          "and REPRO_CACHE)")
     _add_trace_flags(run)
     run.set_defaults(func=_cmd_run)
 
@@ -195,6 +237,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "gating against it")
     bench.set_defaults(func=_cmd_bench)
 
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the incremental-sweep run cache")
+    cache.add_argument("action", choices=("stats", "clear"),
+                       help="'stats' prints the on-disk shape; 'clear' "
+                            "deletes every entry")
+    cache.add_argument("--dir", default=None,
+                       help="cache directory (default: REPRO_CACHE_DIR "
+                            "or ~/.cache/repro/runs)")
+    cache.set_defaults(func=_cmd_cache)
+
     check = sub.add_parser(
         "check", help="determinism + layer-boundary static analysis")
     check.add_argument("paths", nargs="*", default=None,
@@ -235,6 +287,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.report import build_report
 
     print(build_report(budget=args.budget, only=args.only))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .experiments.cache import RunCache
+
+    cache = RunCache(pathlib.Path(args.dir) if args.dir else None)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cache: removed {removed} entries from {cache.directory}")
+        return 0
+    shape = cache.disk_stats()
+    print(f"directory : {shape['directory']}")
+    print(f"entries   : {shape['entries']}")
+    print(f"bytes     : {shape['bytes']}")
     return 0
 
 
@@ -324,13 +393,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"({scale['speedup_at_max']:.1f}x, cull rate {top['cull_rate']:.1%}, "
           f"identical={scale['outcomes_identical']}) -> {scale_path}")
 
+    cache = bench.bench_cache()
+    cache_path = bench.write_bench_json(out_dir, cache)
+    print(f"cache: uncached {cache['uncached_wall_s']:.2f}s, "
+          f"cold {cache['cold_wall_s']:.2f}s "
+          f"(+{cache['cold_overhead_ratio']:.1%}), "
+          f"warm {cache['warm_wall_s'] * 1000:.0f}ms "
+          f"({cache['warm_speedup']:.0f}x, "
+          f"identical={cache['rows_identical']}) -> {cache_path}")
+
     scale_baseline_path = baseline_path.parent / "baseline_scale.json"
+    cache_baseline_path = baseline_path.parent / "baseline_cache.json"
     if args.update_baseline:
         baseline_path.parent.mkdir(parents=True, exist_ok=True)
         baseline_path.write_text(kernel_path.read_text())
         scale_baseline_path.write_text(scale_path.read_text())
+        cache_baseline_path.write_text(cache_path.read_text())
         print(f"baseline updated -> {baseline_path}")
         print(f"baseline updated -> {scale_baseline_path}")
+        print(f"baseline updated -> {cache_baseline_path}")
         return 0
 
     baseline = bench.load_baseline(baseline_path)
@@ -345,6 +426,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # the committed scale baseline when one exists.
     failures += bench.check_scale_regression(
         scale, bench.load_baseline(scale_baseline_path))
+    # Cache gate: row identity, all-hit warm replay, warm speedup floor
+    # and cold-overhead ceiling always; warm speedup vs the committed
+    # cache baseline when one exists.
+    failures += bench.check_cache_regression(
+        cache, bench.load_baseline(cache_baseline_path))
     for failure in failures:
         print(f"regression: {failure}", file=sys.stderr)
     if not failures:

@@ -4,6 +4,7 @@ Importing this package registers every experiment; run one with
 ``run_experiment("E1")`` or enumerate them with ``list_experiments()``.
 """
 
+from .cache import RunCache, cache_key, source_digest
 from .harness import (
     ExperimentResult,
     experiment,
@@ -12,7 +13,7 @@ from .harness import (
     run_experiment,
 )
 from .report import build_report, run_all
-from .sweeps import averaged_over_seeds, grid, sweep
+from .sweeps import averaged_over_seeds, grid, shutdown_shared_pool, sweep
 from .workloads import (
     InterfererPair,
     Room,
@@ -39,8 +40,10 @@ __all__ = [
     "ExperimentResult",
     "InterfererPair",
     "Room",
+    "RunCache",
     "averaged_over_seeds",
     "build_report",
+    "cache_key",
     "experiment",
     "get_experiment",
     "grid",
@@ -50,5 +53,7 @@ __all__ = [
     "projector_room",
     "run_all",
     "run_experiment",
+    "shutdown_shared_pool",
+    "source_digest",
     "sweep",
 ]

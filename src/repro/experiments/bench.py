@@ -267,6 +267,136 @@ def bench_sweeps(workers: int = 4,
 
 
 # ---------------------------------------------------------------------------
+# Run-cache benchmark (incremental sweeps: cold vs warm)
+# ---------------------------------------------------------------------------
+
+#: Machine-independent floor on the warm-cache re-run speedup of the E2
+#: sweep.  A warmed cache replays rows from a handful of small JSON files,
+#: so real figures are 30-100x; 5x catches the replay path silently
+#: recomputing without flapping on slow disks.
+CACHE_MIN_WARM_SPEEDUP: float = 5.0
+
+#: Ceiling on the cold-run cost of caching (key hashing + source digest +
+#: entry writes) as a fraction of the uncached wall time.
+CACHE_MAX_COLD_OVERHEAD: float = 0.05
+
+#: With a committed baseline, the warm speedup may degrade to this
+#: fraction of the recorded figure before the gate fires — generous
+#: because warm runs are milliseconds and relative timing noise is large.
+CACHE_BASELINE_SPEEDUP_FRACTION: float = 0.25
+
+
+def bench_cache(densities=(0, 2, 4), duration: float = 10.0,
+                repeats: int = 3) -> Dict[str, Any]:
+    """Cold vs warm E2 sweep through the content-addressed run cache.
+
+    Three modes of the same sweep: *uncached* (``cache=False``), *cold*
+    (caching on, empty directory — computes and stores), *warm* (same
+    directory again — replays every row from disk).  Uncached and cold
+    are interleaved best-of-``repeats`` so a host-load phase cannot land
+    on one mode only; each cold round gets a fresh directory.  Rows must
+    be byte-identical across all three modes — the cache is only allowed
+    to be faster, never different.
+    """
+    import tempfile
+
+    from .cache import RunCache, source_digest
+    from .e2_interference import run as e2_run
+
+    # The source digest is memoized process-wide (one hash per session,
+    # amortised over every sweep); prewarm it so the cold figure measures
+    # steady-state caching cost, not the one-time hash.
+    source_digest()
+
+    kwargs = dict(densities=densities, duration=duration)
+    uncached_wall = float("inf")
+    cold_wall = float("inf")
+    uncached = cold = warm = None
+    with tempfile.TemporaryDirectory() as tmp:
+        for attempt in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            uncached = e2_run(cache=False, **kwargs)
+            uncached_wall = min(uncached_wall, time.perf_counter() - t0)
+
+            cache = RunCache(pathlib.Path(tmp) / f"round-{attempt}")
+            t0 = time.perf_counter()
+            cold = e2_run(cache=cache, **kwargs)
+            cold_wall = min(cold_wall, time.perf_counter() - t0)
+
+        # Warm replay against the last round's populated cache.
+        warm_wall = float("inf")
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            warm = e2_run(cache=cache, **kwargs)
+            warm_wall = min(warm_wall, time.perf_counter() - t0)
+
+    identical = (uncached.rows == cold.rows == warm.rows
+                 and uncached.columns == cold.columns == warm.columns
+                 and uncached.telemetry == cold.telemetry == warm.telemetry)
+    return {
+        "name": "cache",
+        "sweep_points": len(uncached.rows),
+        "duration_per_point_s": duration,
+        "uncached_wall_s": uncached_wall,
+        "cold_wall_s": cold_wall,
+        "warm_wall_s": warm_wall,
+        "warm_speedup": uncached_wall / warm_wall if warm_wall else 0.0,
+        "cold_overhead_ratio": (cold_wall / uncached_wall - 1.0
+                                if uncached_wall else 0.0),
+        "warm_hit_rate": warm.meta["cache"]["hit_rate"],
+        "cold_stores": cold.meta["cache"]["stores"],
+        "rows_identical": identical,
+        "source": "in-process",
+    }
+
+
+def check_cache_regression(current: Dict[str, Any],
+                           baseline: Optional[Dict[str, Any]],
+                           ) -> List[str]:
+    """Gate the run-cache benchmark.
+
+    Machine-independent checks always run: cached and uncached rows must
+    be identical, a warm run must be served entirely from cache, the warm
+    speedup must clear :data:`CACHE_MIN_WARM_SPEEDUP` and the cold
+    overhead must stay under :data:`CACHE_MAX_COLD_OVERHEAD`.  A
+    like-sourced committed baseline additionally floors the warm speedup
+    at :data:`CACHE_BASELINE_SPEEDUP_FRACTION` of its recorded figure.
+    """
+    failures = []
+    if not current.get("rows_identical", False):
+        failures.append(
+            "rows_identical: cached and uncached sweep results diverged — "
+            "the run cache replayed different rows than it stored")
+    hit_rate = current.get("warm_hit_rate") or 0.0
+    if hit_rate < 1.0:
+        failures.append(
+            f"warm_hit_rate: {hit_rate:.1%} — a warm re-run recomputed "
+            f"points it should have replayed (key instability?)")
+    speedup = current.get("warm_speedup") or 0.0
+    if speedup < CACHE_MIN_WARM_SPEEDUP:
+        failures.append(
+            f"warm_speedup: {speedup:.1f}x below the "
+            f"{CACHE_MIN_WARM_SPEEDUP:.0f}x floor — warm replay is no "
+            f"longer paying")
+    overhead = current.get("cold_overhead_ratio")
+    if overhead is not None and overhead > CACHE_MAX_COLD_OVERHEAD:
+        failures.append(
+            f"cold_overhead_ratio: {overhead:.1%} above the "
+            f"{CACHE_MAX_COLD_OVERHEAD:.0%} ceiling — caching is taxing "
+            f"cold sweeps")
+    if baseline is not None and baseline.get("source") == current.get("source"):
+        base = baseline.get("warm_speedup")
+        if base:
+            floor = base * CACHE_BASELINE_SPEEDUP_FRACTION
+            if speedup < floor:
+                failures.append(
+                    f"warm_speedup: {speedup:.1f}x is below "
+                    f"{CACHE_BASELINE_SPEEDUP_FRACTION:.0%} of the committed "
+                    f"baseline {base:.1f}x (floor {floor:.1f}x)")
+    return failures
+
+
+# ---------------------------------------------------------------------------
 # Population-scale benchmark (spatial-grid audibility culling)
 # ---------------------------------------------------------------------------
 

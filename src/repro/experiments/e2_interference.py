@@ -72,14 +72,16 @@ def run(densities: Sequence[int] = (0, 2, 4, 8, 16, 32),
         duration: float = 20.0, seed: int = 2,
         offered_fps: float = 150.0, frame_bytes: int = 1000,
         channel_plans: Sequence[str] = ("cochannel", "spread"),
-        workers: int = 0) -> ExperimentResult:
+        workers: int = 0, cache=None) -> ExperimentResult:
     """Goodput/loss vs interferer density, co-channel vs spread plans.
 
     The measured link offers ~1.2 Mb/s; each interferer pair offers
     ~0.4 Mb/s, so a handful of co-channel pairs saturates the cell.
 
     Each (plan, density) point is one independent simulation, so the sweep
-    parallelises across ``workers`` processes with identical output.
+    parallelises across ``workers`` processes with identical output — and,
+    because ``run_one`` here is a partial over a module-level function,
+    memoizes through the run cache when ``cache`` is enabled.
     """
     points = [{"pairs": pairs, "channel_plan": plan}
               for plan in channel_plans for pairs in densities]
@@ -91,7 +93,7 @@ def run(densities: Sequence[int] = (0, 2, 4, 8, 16, 32),
         columns=["interferer_pairs", "channel_plan", "delivery_ratio",
                  "goodput_kbps", "queue_drops", "retry_drops",
                  "backoffs_per_frame", "fairness"],
-        workers=workers)
+        workers=workers, cache=cache)
     result.notes.append(
         "paper: high concentration of 2.4 GHz devices degrades operation; "
         "non-overlapping channel plan (1/6/11) is the classic mitigation")

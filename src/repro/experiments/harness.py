@@ -28,6 +28,10 @@ class ExperimentResult:
     #: populated by sweep() when run_one returns a "telemetry" key.  Kept
     #: out of ``columns``/``rows`` so tables and assertions are unchanged.
     telemetry: List[Dict[str, Any]] = field(default_factory=list)
+    #: how the result was produced (sweep() records workers / parallel /
+    #: cached-vs-computed task counts and cache stats here).  Like
+    #: ``telemetry``, never part of the table.
+    meta: Dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, **values: Any) -> None:
         unknown = set(values) - set(self.columns)

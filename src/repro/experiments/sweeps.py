@@ -1,4 +1,4 @@
-"""Parameter sweeps with common random numbers.
+"""Parameter sweeps: common random numbers, incremental caching, one pool.
 
 Comparing simulated systems fairly means varying only what you mean to
 vary; the kernel's named RNG streams give that per-component, and this
@@ -6,23 +6,38 @@ module gives it per-*configuration*: :func:`sweep` runs a factory across a
 parameter grid with the same seed set, collecting rows into one
 :class:`~repro.experiments.harness.ExperimentResult`.
 
-``sweep(..., workers=N)`` fans the (point, seed) pairs across
-``multiprocessing`` workers.  Each pair is an independent simulation with
-its own seed, so the fan-out is embarrassingly parallel; rows are
-reassembled in task-submission order, which makes the parallel result
-*identical* to the serial one — same rows, same order.  The pool uses the
-``fork`` start method (workers inherit ``run_one`` by address space, so
-closures and lambdas work); on platforms without ``fork`` the sweep
-silently falls back to the serial path.
+Dispatch core, in order:
+
+1. **Cache lookup** (:mod:`repro.experiments.cache`, opt-in via
+   ``cache=True`` / ``REPRO_CACHE=1``): each (point, seed) pair is
+   content-addressed by the source digest of ``src/repro``, the
+   experiment id, ``run_one``'s identity, the point and the seed.  Hits
+   replay byte-identical rows from disk; only misses are computed, so
+   editing one axis value recomputes only the new points.
+2. **Parallel execution** of the misses: ``workers=N`` fans the pairs
+   across a ``fork``-start ``multiprocessing`` pool.  A picklable
+   ``run_one`` (module-level function or ``functools.partial``) runs on
+   one process-wide *reusable* pool shared by every ``sweep()`` call in
+   the session, with an adaptive chunksize; lambdas and closures fall
+   back to a dedicated per-sweep pool whose workers inherit ``run_one``
+   by fork.  Rows are reassembled in task-submission order either way,
+   so the parallel result is *identical* to the serial one.  On
+   platforms without ``fork`` the sweep warns once and records
+   ``parallel=False`` in ``result.meta`` instead of silently crawling.
 """
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import multiprocessing
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+import pickle
+import warnings
+from multiprocessing.pool import MaybeEncodingError
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..kernel.errors import ExperimentError
+from .cache import RunCache, cache_key, resolve_cache, run_one_identity, source_digest
 from .harness import ExperimentResult
 
 
@@ -42,9 +57,17 @@ def grid(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
 
 
 # ---------------------------------------------------------------------------
-# Worker plumbing.  ``run_one`` reaches the workers by fork inheritance (the
-# initializer runs after the fork, so nothing about it is pickled); only the
-# (index, seed, point) tasks and the measured row dicts cross the pipe.
+# Worker plumbing.
+#
+# Two parallel paths share one contract (tasks carry their submission
+# index; rows come back keyed by it):
+#
+# * picklable ``run_one`` -> the process-wide shared pool; the function
+#   rides inside each task as a by-reference pickle (~a qualname), so one
+#   long-lived pool serves many different sweeps without re-forking.
+# * unpicklable ``run_one`` (lambda/closure) -> a dedicated pool whose
+#   initializer receives it through fork inheritance (nothing about it is
+#   pickled); the pool lives for that one sweep.
 # ---------------------------------------------------------------------------
 
 _WORKER_RUN_ONE: List[Callable[..., Mapping[str, Any]]] = []
@@ -59,16 +82,117 @@ def _run_task(task: Tuple[int, int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any
     return index, dict(_WORKER_RUN_ONE[0](seed=seed, **point))
 
 
+def _run_pickled_task(task: Tuple[Callable[..., Mapping[str, Any]],
+                                  int, int, Dict[str, Any]],
+                      ) -> Tuple[int, Dict[str, Any]]:
+    run_one, index, seed, point = task
+    return index, dict(run_one(seed=seed, **point))
+
+
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
+
+#: The process-wide reusable pool: ``(pool, size)`` or None.  Grown (never
+#: shrunk) on demand; sized-down requests reuse the bigger pool — the task
+#: list, not the pool size, bounds concurrency usefully here.
+_SHARED_POOL: Optional[Tuple[Any, int]] = None
+
+_WARNED_NO_FORK = False
+
+
+def _shared_pool(workers: int):
+    """The reusable fork pool, grown to at least ``workers`` processes."""
+    global _SHARED_POOL
+    if _SHARED_POOL is not None:
+        pool, size = _SHARED_POOL
+        if size >= workers:
+            return pool
+        shutdown_shared_pool()
+    ctx = multiprocessing.get_context("fork")
+    pool = ctx.Pool(workers)
+    _SHARED_POOL = (pool, workers)
+    return pool
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the reusable pool (tests, atexit).  Safe to call twice."""
+    global _SHARED_POOL
+    if _SHARED_POOL is not None:
+        pool, _ = _SHARED_POOL
+        _SHARED_POOL = None
+        pool.terminate()
+        pool.join()
+
+
+atexit.register(shutdown_shared_pool)
+
+
+def _adaptive_chunksize(tasks: int, workers: int) -> int:
+    """Batch tasks per IPC round trip without losing load balance.
+
+    ``chunksize=1`` maximises balance but pays one pipe round trip per
+    task — dominant for grids of sub-second runs.  Aim for ~4 chunks per
+    worker (enough slack for wildly uneven points, e.g. 0 vs 32
+    interferer pairs) and cap at 32 so one chunk can never hold a
+    meaningful fraction of a big grid.
+    """
+    return max(1, min(32, tasks // (max(1, workers) * 4)))
+
+
+def _is_picklable(value: Any) -> bool:
+    try:
+        pickle.dumps(value)
+    except Exception:
+        return False
+    return True
+
+
+def _execute_parallel(run_one: Callable[..., Mapping[str, Any]],
+                      pending: List[Tuple[int, int, Dict[str, Any]]],
+                      workers: int) -> Dict[int, Dict[str, Any]]:
+    """Fan ``pending`` tasks across processes; rows keyed by task index."""
+    effective = min(workers, len(pending))
+    chunksize = _adaptive_chunksize(len(pending), effective)
+    try:
+        if _is_picklable(run_one):
+            tasks = [(run_one, index, seed, point)
+                     for index, seed, point in pending]
+            try:
+                pickle.dumps(tasks)
+            except Exception as exc:
+                raise ExperimentError(
+                    "sweep point values must be picklable for parallel "
+                    f"execution (workers>1): {exc!r}") from exc
+            pool = _shared_pool(workers)
+            results = pool.map(_run_pickled_task, tasks, chunksize=chunksize)
+        else:
+            # Fork inheritance: the initializer receives run_one by
+            # address space, so closures and lambdas work — at the price
+            # of a fresh pool for this one sweep.
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(effective, initializer=_init_worker,
+                          initargs=(run_one,)) as pool:
+                results = pool.map(_run_task, pending, chunksize=chunksize)
+    except MaybeEncodingError as exc:
+        raise ExperimentError(
+            "run_one returned a row that cannot cross the process "
+            "boundary (not picklable); return plain dicts of scalars "
+            f"— {exc!r}") from exc
+    return dict(results)
+
+
+# ---------------------------------------------------------------------------
+# The sweep
+# ---------------------------------------------------------------------------
 
 def sweep(experiment_id: str, title: str,
           run_one: Callable[..., Mapping[str, Any]],
           points: Iterable[Mapping[str, Any]],
           seeds: Sequence[int] = (0,),
           columns: Sequence[str] = (),
-          workers: int = 0) -> ExperimentResult:
+          workers: int = 0,
+          cache: Any = None) -> ExperimentResult:
     """Run ``run_one(seed=..., **point)`` over every (point, seed) pair.
 
     ``run_one`` returns a row dict; the parameter point and seed are merged
@@ -77,40 +201,104 @@ def sweep(experiment_id: str, title: str,
 
     Args:
         workers: fan the pairs across this many ``multiprocessing`` workers
-            (0 or 1 = serial).  ``run_one`` must be deterministic given its
-            seed; rows come back in the same order as the serial path.
+            (0 or 1 = serial; negative is rejected).  ``run_one`` must be
+            deterministic given its seed; rows come back in the same order
+            as the serial path.
+        cache: ``True`` / a :class:`~repro.experiments.cache.RunCache` to
+            replay previously computed (point, seed) pairs from the
+            content-addressed on-disk cache; ``False`` forces it off; the
+            default ``None`` defers to ``REPRO_CACHE`` / ``REPRO_NO_CACHE``.
+
+    The result's ``meta`` dict records how the sweep actually ran:
+    ``workers`` (requested), ``parallel`` (whether a pool was used),
+    ``computed`` / ``cached`` task counts, and a per-sweep ``cache``
+    stats delta when caching was on.
     """
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ExperimentError(f"workers must be an int, not {workers!r}")
+    if workers < 0:
+        raise ExperimentError(
+            f"workers must be >= 0, not {workers} (0 or 1 = serial)")
     tasks: List[Tuple[int, int, Dict[str, Any]]] = []
     for point in points:
         for seed in seeds:
             tasks.append((len(tasks), seed, dict(point)))
+    if not tasks:
+        raise ExperimentError("sweep produced no rows")
 
-    if workers > 1 and len(tasks) > 1 and _fork_available():
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(min(workers, len(tasks)),
-                      initializer=_init_worker,
-                      initargs=(run_one,)) as pool:
-            measured_by_index = dict(pool.map(_run_task, tasks, chunksize=1))
+    # ---- phase 1: cache lookup ---------------------------------------
+    run_cache = resolve_cache(cache)
+    stats_before = run_cache.stats.snapshot() if run_cache else None
+    keys: Dict[int, str] = {}
+    replayed: Dict[int, Tuple[Dict[str, Any], Any]] = {}
+    pending: List[Tuple[int, int, Dict[str, Any]]] = []
+    if run_cache is not None:
+        identity = run_one_identity(run_one)
+        if identity is None:
+            run_cache.stats.uncacheable.add(len(tasks))
+            pending = tasks
+        else:
+            src = source_digest()
+            for index, seed, point in tasks:
+                try:
+                    key = cache_key(experiment_id, identity, point, seed,
+                                    src_digest=src)
+                except ExperimentError:
+                    run_cache.stats.uncacheable.add()
+                    pending.append((index, seed, point))
+                    continue
+                keys[index] = key
+                entry = run_cache.get(key)
+                if entry is None:
+                    pending.append((index, seed, point))
+                else:
+                    replayed[index] = (entry["row"], entry.get("telemetry"))
     else:
-        measured_by_index = {index: dict(run_one(seed=seed, **point))
-                             for index, seed, point in tasks}
+        pending = tasks
 
-    rows: List[Dict[str, Any]] = []
-    telemetry: List[Dict[str, Any]] = []
-    for index, seed, point in tasks:
-        measured = measured_by_index[index]
+    # ---- phase 2: execute the misses ---------------------------------
+    global _WARNED_NO_FORK
+    parallel = False
+    if workers > 1 and len(pending) > 1:
+        if _fork_available():
+            parallel = True
+            computed = _execute_parallel(run_one, pending, workers)
+        else:
+            if not _WARNED_NO_FORK:
+                _WARNED_NO_FORK = True
+                warnings.warn(
+                    "sweep: the 'fork' start method is unavailable on "
+                    "this platform; running serially (workers request "
+                    "ignored). This warning is emitted once.",
+                    RuntimeWarning, stacklevel=2)
+            computed = {index: dict(run_one(seed=seed, **point))
+                        for index, seed, point in pending}
+    else:
+        computed = {index: dict(run_one(seed=seed, **point))
+                    for index, seed, point in pending}
+
+    # ---- phase 3: store new entries, assemble rows -------------------
+    measured_by_index: Dict[int, Tuple[Dict[str, Any], Any]] = dict(replayed)
+    for index, measured in computed.items():
         # "telemetry" is reserved: a per-run summary dict (small and
         # picklable — it crossed the fork pipe instead of the raw trace).
         # It rides on the result, not in the table.
-        telemetry.append(measured.pop("telemetry", None))
+        telemetry_entry = measured.pop("telemetry", None)
+        measured_by_index[index] = (measured, telemetry_entry)
+        if run_cache is not None and index in keys:
+            run_cache.put(keys[index], measured, telemetry_entry)
+
+    rows: List[Dict[str, Any]] = []
+    telemetry: List[Any] = []
+    for index, seed, point in tasks:
+        measured, telemetry_entry = measured_by_index[index]
+        telemetry.append(telemetry_entry)
         row: Dict[str, Any] = {"seed": seed}
         row.update(point)
         for key, value in measured.items():
             if key not in row:
                 row[key] = value
         rows.append(row)
-    if not rows:
-        raise ExperimentError("sweep produced no rows")
     if not columns:
         columns = list(rows[0].keys())
     result = ExperimentResult(experiment_id, title, list(columns))
@@ -118,22 +306,49 @@ def sweep(experiment_id: str, title: str,
         result.add_row(**{k: row.get(k) for k in columns})
     if any(entry is not None for entry in telemetry):
         result.telemetry = telemetry
+    result.meta.update({
+        "workers": workers,
+        "parallel": parallel,
+        "computed": len(pending),
+        "cached": len(replayed),
+    })
+    if run_cache is not None:
+        after = run_cache.stats.snapshot()
+        delta = {name: after[name] - stats_before[name]
+                 for name in sorted(stats_before) if name != "hit_rate"}
+        lookups = delta["hits"] + delta["misses"]
+        delta["hit_rate"] = delta["hits"] / lookups if lookups else 0.0
+        result.meta["cache"] = delta
     return result
 
 
 def averaged_over_seeds(result: ExperimentResult,
                         group_by: Sequence[str],
                         metrics: Sequence[str]) -> ExperimentResult:
-    """Collapse a multi-seed sweep: mean of ``metrics`` per parameter
-    point."""
+    """Collapse a multi-seed sweep: mean of ``metrics`` per parameter point.
+
+    When the input carries per-row telemetry summaries (``sweep`` attaches
+    them for ``run_one``s that return a ``"telemetry"`` key), each output
+    row gets an *aggregated* summary — counts summed across the collapsed
+    replicates via :func:`repro.telemetry.summary.aggregate_telemetry` —
+    so layer/issue reporting keeps working on seed-averaged results.
+    """
+    from ..telemetry.summary import aggregate_telemetry
+
+    per_row_telemetry = (list(result.telemetry)
+                         if len(result.telemetry) == len(result.rows)
+                         else [None] * len(result.rows))
     groups: Dict[tuple, List[Dict[str, Any]]] = {}
-    for row in result.rows:
+    group_telemetry: Dict[tuple, List[Any]] = {}
+    for row, telemetry_entry in zip(result.rows, per_row_telemetry):
         key = tuple(row.get(name) for name in group_by)
         groups.setdefault(key, []).append(row)
+        group_telemetry.setdefault(key, []).append(telemetry_entry)
     out = ExperimentResult(result.experiment_id + "-avg",
                            result.title + " (seed-averaged)",
                            list(group_by) + [f"mean_{m}" for m in metrics]
                            + ["replicates"])
+    aggregated: List[Any] = []
     for key, rows in groups.items():
         aggregates: Dict[str, Any] = dict(zip(group_by, key))
         for metric in metrics:
@@ -142,4 +357,10 @@ def averaged_over_seeds(result: ExperimentResult,
                                             if values else float("nan"))
         aggregates["replicates"] = len(rows)
         out.add_row(**aggregates)
+        summaries = [entry for entry in group_telemetry[key]
+                     if entry is not None]
+        aggregated.append(aggregate_telemetry(summaries) if summaries
+                          else None)
+    if any(entry is not None for entry in aggregated):
+        out.telemetry = aggregated
     return out

@@ -9,7 +9,7 @@ volume, issues bucketed by LPC layer, and the final metrics snapshot.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable
+from typing import Any, Dict, Iterable, Sequence
 
 from ..core.concerns import ConcernClassifier
 from ..core.layers import Column
@@ -54,3 +54,41 @@ def telemetry_summary(sim: Simulator,
         "issues_by_column": dict(sorted(issues_by_column.items())),
         "metrics": sim.metrics.close(),
     }
+
+
+def _merge_counts(target: Dict[str, float],
+                  source: Dict[str, float]) -> None:
+    for name, value in source.items():
+        target[name] = target.get(name, 0) + value
+
+
+def aggregate_telemetry(summaries: Sequence[Dict[str, Any]],
+                        ) -> Dict[str, Any]:
+    """Collapse several :func:`telemetry_summary` dicts into one.
+
+    Used by ``averaged_over_seeds`` so a seed-averaged result still
+    carries layer/issue telemetry.  Aggregation is by *sum* — simulated
+    time, event totals, trace volume, per-layer issue counts and metric
+    counters all add across replicates — with ``replicates`` recording
+    how many summaries were merged.  Gauges, latencies and probes are
+    per-run shapes with no sound cross-seed sum, so the aggregate keeps
+    only the counters section of ``metrics``.
+    """
+    totals = {"sim_time": 0.0, "events_executed": 0, "records": 0,
+              "records_dropped": 0, "spans": 0, "spans_open": 0}
+    issues_by_layer: Dict[str, float] = {}
+    issues_by_column: Dict[str, float] = {}
+    counters: Dict[str, float] = {}
+    for summary in summaries:
+        for name in totals:
+            totals[name] += summary.get(name, 0)
+        _merge_counts(issues_by_layer, summary.get("issues_by_layer", {}))
+        _merge_counts(issues_by_column, summary.get("issues_by_column", {}))
+        metrics = summary.get("metrics") or {}
+        _merge_counts(counters, metrics.get("counters", {}))
+    out: Dict[str, Any] = {"replicates": len(summaries)}
+    out.update(totals)
+    out["issues_by_layer"] = dict(sorted(issues_by_layer.items()))
+    out["issues_by_column"] = dict(sorted(issues_by_column.items()))
+    out["metrics"] = {"counters": dict(sorted(counters.items()))}
+    return out

@@ -97,6 +97,65 @@ def test_cli_run_trace_flag(capsys, tmp_path):
     assert out.exists()
 
 
+def test_cli_cache_stats_and_clear(capsys, tmp_path):
+    from repro.experiments.cache import RunCache, cache_key
+
+    cache = RunCache(tmp_path)
+    cache.put(cache_key("X", "m:f", {"k": 1}, 0, src_digest="s"), {"v": 1})
+    assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert str(tmp_path) in out and "entries   : 1" in out
+    assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+    assert "removed 1 entries" in capsys.readouterr().out
+    assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+    assert "entries   : 0" in capsys.readouterr().out
+
+
+def test_cli_cache_dir_env_override(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert main(["cache", "stats"]) == 0
+    assert str(tmp_path / "elsewhere") in capsys.readouterr().out
+
+
+def test_cli_cache_policy_sets_and_restores_env(monkeypatch):
+    """``run --cache`` / ``--no-cache`` drive the env knobs sweep()
+    consults, and restore them afterwards (no leakage into the caller)."""
+    import argparse
+    import os
+
+    from repro.cli import _cache_policy
+    from repro.experiments.cache import (CACHE_OFF_ENV, CACHE_ON_ENV,
+                                         RunCache, resolve_cache)
+
+    monkeypatch.delenv(CACHE_ON_ENV, raising=False)
+    monkeypatch.delenv(CACHE_OFF_ENV, raising=False)
+    with _cache_policy(argparse.Namespace(cache=True, no_cache=False)):
+        assert os.environ[CACHE_ON_ENV] == "1"
+        assert isinstance(resolve_cache(None), RunCache)
+    assert CACHE_ON_ENV not in os.environ
+    with _cache_policy(argparse.Namespace(cache=True, no_cache=True)):
+        assert resolve_cache(None) is None  # --no-cache wins
+    assert CACHE_OFF_ENV not in os.environ
+
+
+def test_cli_run_cache_env_round_trip(tmp_path, monkeypatch):
+    """With the cache enabled by env, a second E2 run replays from the
+    directory REPRO_CACHE_DIR points at."""
+    import os
+
+    from repro.experiments.cache import CACHE_ON_ENV
+    from repro.experiments.e2_interference import run as e2_run
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.setenv(CACHE_ON_ENV, "1")
+    cold = e2_run(densities=(0,), duration=1.0)
+    warm = e2_run(densities=(0,), duration=1.0)
+    assert cold.rows == warm.rows
+    assert warm.meta["cache"]["hit_rate"] == 1.0
+    assert os.listdir(tmp_path)  # entries landed under REPRO_CACHE_DIR
+
+
 def test_cli_report_lpc_deterministic(capsys):
     assert main(["report", "--lpc", "--horizon", "30"]) == 0
     first = capsys.readouterr().out

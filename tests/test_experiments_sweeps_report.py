@@ -114,6 +114,99 @@ def test_sweep_single_task_stays_serial():
     assert result.rows == [{"seed": 0, "k": 1, "v": 1}]
 
 
+def test_sweep_rejects_negative_and_non_int_workers():
+    with pytest.raises(ExperimentError):
+        sweep("X", "t", lambda seed, k: {"v": k}, grid(k=[1]), workers=-1)
+    with pytest.raises(ExperimentError):
+        sweep("X", "t", lambda seed, k: {"v": k}, grid(k=[1]), workers=True)
+
+
+def test_sweep_without_fork_warns_once_and_records_serial(monkeypatch):
+    import repro.experiments.sweeps as sweeps_mod
+
+    monkeypatch.setattr(sweeps_mod, "_fork_available", lambda: False)
+    monkeypatch.setattr(sweeps_mod, "_WARNED_NO_FORK", False)
+    with pytest.warns(RuntimeWarning, match="fork.*unavailable"):
+        result = sweep("X", "t", lambda seed, k: {"v": k},
+                       grid(k=[1, 2]), workers=4)
+    assert result.rows == [{"seed": 0, "k": 1, "v": 1},
+                           {"seed": 0, "k": 2, "v": 2}]
+    assert result.meta["parallel"] is False
+    assert result.meta["workers"] == 4
+    # Second sweep: same fallback, but the warning fires only once.
+    import warnings as warnings_mod
+    with warnings_mod.catch_warnings():
+        warnings_mod.simplefilter("error")
+        again = sweep("X", "t", lambda seed, k: {"v": k},
+                      grid(k=[1, 2]), workers=4)
+    assert again.meta["parallel"] is False
+
+
+def test_sweep_parallel_records_meta():
+    result = sweep("X", "t", lambda seed, k: {"v": k}, grid(k=[1, 2, 3]),
+                   workers=2)
+    assert result.meta["parallel"] is True
+    assert result.meta["computed"] == 3 and result.meta["cached"] == 0
+
+
+def test_sweep_unpicklable_row_raises_clear_error():
+    import threading
+
+    def run_one(seed, k):
+        return {"v": threading.Lock()}
+
+    with pytest.raises(ExperimentError, match="cannot cross the process"):
+        sweep("X", "t", run_one, grid(k=[1, 2, 3]), workers=2)
+
+
+def test_sweep_unpicklable_point_raises_clear_error():
+    import threading
+
+    from repro.experiments.e2_interference import _measure_density_row
+
+    # A picklable run_one takes the shared-pool path, where point values
+    # must survive pickling too.
+    with pytest.raises(ExperimentError, match="picklable"):
+        sweep("X", "t", _measure_density_row,
+              [{"pairs": threading.Lock(), "channel_plan": "x"},
+               {"pairs": 1, "channel_plan": "y"}], workers=2)
+
+
+def test_averaged_over_seeds_aggregates_telemetry():
+    result = ExperimentResult("X", "t", ["seed", "knob", "metric"])
+    telemetry = []
+    for seed in (0, 1):
+        for knob in (1, 2):
+            result.add_row(seed=seed, knob=knob, metric=knob * 10 + seed)
+            telemetry.append({
+                "sim_time": 5.0, "events_executed": 100 * knob,
+                "records": 10, "records_dropped": 0,
+                "spans": 4, "spans_open": 0,
+                "issues_by_layer": {"resource": knob},
+                "issues_by_column": {"device": knob},
+                "metrics": {"counters": {"mac.queue_drops": seed}},
+            })
+    result.telemetry = telemetry
+    averaged = averaged_over_seeds(result, group_by=("knob",),
+                                   metrics=("metric",))
+    assert len(averaged.telemetry) == len(averaged.rows)
+    by_knob = {row["knob"]: entry
+               for row, entry in zip(averaged.rows, averaged.telemetry)}
+    assert by_knob[1]["replicates"] == 2
+    assert by_knob[1]["events_executed"] == 200
+    assert by_knob[2]["events_executed"] == 400
+    assert by_knob[1]["issues_by_layer"] == {"resource": 2}
+    assert by_knob[1]["metrics"]["counters"] == {"mac.queue_drops": 1}
+
+
+def test_averaged_over_seeds_without_telemetry_stays_empty():
+    result = ExperimentResult("X", "t", ["seed", "knob", "metric"])
+    result.add_row(seed=0, knob=1, metric=1.0)
+    averaged = averaged_over_seeds(result, group_by=("knob",),
+                                   metrics=("metric",))
+    assert averaged.telemetry == []
+
+
 # ---------------------------------------------------------------------------
 # report
 # ---------------------------------------------------------------------------
