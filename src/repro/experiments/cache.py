@@ -26,9 +26,12 @@ Key properties:
   must never be able to kill the sweep that asked for it.
 * **Only identifiable work is cached.**  A module-level ``run_one`` (or a
   ``functools.partial`` over one with JSON-serializable bound arguments)
-  has a stable cross-process identity.  Lambdas and closures do not —
-  their captured state is invisible to the key — so they are counted as
-  ``uncacheable`` and always computed.
+  has a stable cross-process identity that includes a digest of its own
+  source file, so a ``run_one`` living *outside* ``src/repro`` still
+  invalidates when its module is edited.  Lambdas, closures and bound
+  methods do not — their captured state (cells, ``__self__``) is
+  invisible to the key — so they are counted as ``uncacheable`` and
+  always computed.
 * **Rows round-trip exactly or not at all.**  Before an entry is stored,
   the row is JSON round-tripped and compared ``==`` to the original;
   any value JSON cannot represent faithfully (tuples, numpy scalars)
@@ -43,9 +46,12 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import inspect
 import json
+import math
 import os
 import pathlib
+import re
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from ..kernel.errors import ExperimentError
@@ -113,14 +119,47 @@ def source_digest(root: Optional[pathlib.Path] = None) -> str:
 # run_one identity and key derivation
 # ---------------------------------------------------------------------------
 
+_FUNCTION_SOURCE_MEMO: Dict[str, Optional[str]] = {}
+
+
+def _function_source_digest(run_one: Callable[..., Any]) -> Optional[str]:
+    """SHA-256 of ``run_one``'s source *file*, or None when it has none.
+
+    The package-wide :func:`source_digest` only covers ``src/repro``; a
+    ``run_one`` defined in user code would otherwise be keyed by name
+    alone, silently replaying stale rows after its body (or a helper in
+    the same module) is edited.  Hashing the whole source file — not just
+    the function body — catches same-module helpers too.  Memoized per
+    path for the same reason as :func:`source_digest`.
+    """
+    try:
+        path = inspect.getsourcefile(run_one)
+    except TypeError:
+        return None
+    if not path:
+        return None
+    if path in _FUNCTION_SOURCE_MEMO:
+        return _FUNCTION_SOURCE_MEMO[path]
+    try:
+        value: Optional[str] = hashlib.sha256(
+            pathlib.Path(path).read_bytes()).hexdigest()
+    except OSError:
+        value = None
+    _FUNCTION_SOURCE_MEMO[path] = value
+    return value
+
+
 def run_one_identity(run_one: Callable[..., Any]) -> Optional[str]:
     """A stable cross-process name for ``run_one``, or None if it has none.
 
-    Module-level functions are identified by ``module:qualname``; a
+    Module-level functions are identified by ``module:qualname`` plus a
+    digest of their source file (so editing a ``run_one`` that lives
+    outside ``src/repro`` still invalidates its entries); a
     ``functools.partial`` chain over one additionally contributes its
-    bound arguments (canonical JSON).  Lambdas, closures and locally
-    defined functions return None — their behaviour depends on state the
-    key cannot see, so caching them would be unsound.
+    bound arguments (canonical JSON).  Lambdas, closures, locally defined
+    functions and bound methods return None — their behaviour depends on
+    state (cells, ``__self__``) the key cannot see, so caching them would
+    be unsound.
     """
     if isinstance(run_one, functools.partial):
         inner = run_one_identity(run_one.func)
@@ -132,6 +171,11 @@ def run_one_identity(run_one: Callable[..., Any]) -> Optional[str]:
         except ExperimentError:
             return None
         return f"partial({inner}, {bound})"
+    if getattr(run_one, "__self__", None) is not None:
+        # A bound method: __qualname__/__closure__ look clean, but the
+        # instance state behind __self__ is invisible to the key —
+        # Runner(1).run and Runner(1000).run would collide.
+        return None
     qualname = getattr(run_one, "__qualname__", None)
     module = getattr(run_one, "__module__", None)
     if not qualname or not module:
@@ -140,7 +184,10 @@ def run_one_identity(run_one: Callable[..., Any]) -> Optional[str]:
         return None
     if getattr(run_one, "__closure__", None):
         return None
-    return f"{module}:{qualname}"
+    src = _function_source_digest(run_one)
+    if src is None:
+        return None
+    return f"{module}:{qualname}#{src[:16]}"
 
 
 def canonical_json(value: Any) -> str:
@@ -216,6 +263,11 @@ class CacheStats:
 # The on-disk store
 # ---------------------------------------------------------------------------
 
+#: The entry layout: a two-hex shard directory holding <64-hex>.json files.
+_SHARD_RE = re.compile(r"[0-9a-f]{2}")
+_ENTRY_RE = re.compile(r"[0-9a-f]{64}\.json")
+
+
 class RunCache:
     """Content-addressed store of measured sweep rows.
 
@@ -272,11 +324,13 @@ class RunCache:
             body = json.dumps(entry, allow_nan=True)
             # A tuple would come back as a list, an int-valued float as
             # itself but a numpy scalar would not survive at all: only
-            # rows that replay *exactly* may enter the cache.
+            # rows that replay *exactly* may enter the cache.  NaN rows
+            # (averaged_over_seeds emits them for empty groups) round-trip
+            # faithfully through allow_nan and must stay cacheable, so
+            # the comparison is NaN-aware.
             replay = json.loads(body)
-            same = (replay["row"] == row
-                    and _same_types(replay["row"], row)
-                    and replay["telemetry"] == telemetry)
+            same = (_json_equal(replay["row"], row)
+                    and _json_equal(replay["telemetry"], telemetry))
         except (TypeError, ValueError):
             same = False
         if not same:
@@ -291,36 +345,55 @@ class RunCache:
         return True
 
     # -- maintenance ----------------------------------------------------
+    def _entry_files(self):
+        """Yield paths matching the entry layout — a two-hex shard dir
+        containing ``<64-hex>.json`` — and nothing else.  ``clear`` and
+        ``disk_stats`` walk only these so a mistyped ``REPRO_CACHE_DIR``
+        (or ``cache clear --dir``) pointed at a project directory can
+        never delete unrelated JSON files."""
+        if not self.directory.is_dir():
+            return
+        for shard in sorted(self.directory.iterdir()):
+            if not (shard.is_dir() and _SHARD_RE.fullmatch(shard.name)):
+                continue
+            for path in sorted(shard.iterdir()):
+                if (_ENTRY_RE.fullmatch(path.name)
+                        and path.name.startswith(shard.name)):
+                    yield path
+
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and leftover temp file); returns how many
+        entries were removed.  Only files matching the entry layout are
+        touched — foreign files in a misconfigured directory survive."""
         removed = 0
-        if not self.directory.exists():
-            return removed
-        for path in sorted(self.directory.rglob("*.json")):
+        for path in list(self._entry_files()):
+            shard = path.parent
             try:
                 path.unlink()
                 removed += 1
             except OSError:
                 continue
-        for shard in sorted(self.directory.iterdir()):
-            if shard.is_dir():
+            for tmp in shard.glob(f"{path.name}.tmp.*"):
                 try:
-                    shard.rmdir()
+                    tmp.unlink()
                 except OSError:
                     continue
+            try:
+                shard.rmdir()  # only succeeds once the shard is empty
+            except OSError:
+                pass
         return removed
 
     def disk_stats(self) -> Dict[str, Any]:
         """On-disk shape: entry count and total bytes (for ``cli cache``)."""
         entries = 0
         size = 0
-        if self.directory.exists():
-            for path in self.directory.rglob("*.json"):
-                try:
-                    size += path.stat().st_size
-                except OSError:
-                    continue
-                entries += 1
+        for path in self._entry_files():
+            try:
+                size += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
         return {"directory": str(self.directory),
                 "entries": entries, "bytes": size}
 
@@ -331,13 +404,23 @@ class RunCache:
                                        self.stats.snapshot)
 
 
-def _same_types(replayed: Mapping[str, Any], row: Mapping[str, Any]) -> bool:
-    """True when JSON replay preserved value *types*, not just equality
-    (``1.0 == 1`` but a cached int must not come back a float)."""
-    for key, value in row.items():
-        if type(replayed.get(key)) is not type(value):  # noqa: E721
-            return False
-    return True
+def _json_equal(replayed: Any, original: Any) -> bool:
+    """True when JSON replay preserved the value exactly — same *types*
+    (``1.0 == 1`` but a cached int must not come back a float, a tuple
+    must not come back a list) and same values, with ``NaN`` treated as
+    equal to itself so NaN-bearing rows stay cacheable."""
+    if type(replayed) is not type(original):  # noqa: E721
+        return False
+    if isinstance(original, dict):
+        return (list(replayed) == list(original)
+                and all(_json_equal(replayed[k], v)
+                        for k, v in original.items()))
+    if isinstance(original, list):
+        return (len(replayed) == len(original)
+                and all(map(_json_equal, replayed, original)))
+    if isinstance(original, float) and math.isnan(original):
+        return math.isnan(replayed)
+    return replayed == original
 
 
 # ---------------------------------------------------------------------------

@@ -18,7 +18,10 @@ Dispatch core, in order:
    across a ``fork``-start ``multiprocessing`` pool.  A picklable
    ``run_one`` (module-level function or ``functools.partial``) runs on
    one process-wide *reusable* pool shared by every ``sweep()`` call in
-   the session, with an adaptive chunksize; lambdas and closures fall
+   the session, with an adaptive chunksize (workers snapshot the parent
+   interpreter at first fork — see :func:`_shared_pool` — and any
+   failure escaping ``pool.map`` discards the pool so the next sweep
+   re-forks cleanly); lambdas and closures fall
    back to a dedicated per-sweep pool whose workers inherit ``run_one``
    by fork.  Rows are reassembled in task-submission order either way,
    so the parallel result is *identical* to the serial one.  On
@@ -102,7 +105,21 @@ _WARNED_NO_FORK = False
 
 
 def _shared_pool(workers: int):
-    """The reusable fork pool, grown to at least ``workers`` processes."""
+    """The reusable fork pool, grown to at least ``workers`` processes.
+
+    **Snapshot semantics:** workers are forked when the pool is first
+    created and then reused for every later ``sweep()``, so they run
+    against a snapshot of the parent interpreter at that moment.
+    Parent-side changes made *after* the first parallel sweep — mutated
+    module globals, monkeypatching, reconfigured defaults a ``run_one``
+    reads — are invisible to the workers.  ``run_one`` must be a pure
+    function of ``(seed, **point)`` (the determinism linter enforces
+    this for in-repo experiments); tests that monkeypatch state a
+    ``run_one`` reads must call :func:`shutdown_shared_pool` first to
+    force a re-fork.  Any failure escaping ``pool.map`` tears the shared
+    pool down (see :func:`_execute_parallel`), so a crashed worker can
+    never leave later sweeps running on a broken pool.
+    """
     global _SHARED_POOL
     if _SHARED_POOL is not None:
         pool, size = _SHARED_POOL
@@ -165,7 +182,15 @@ def _execute_parallel(run_one: Callable[..., Mapping[str, Any]],
                     "sweep point values must be picklable for parallel "
                     f"execution (workers>1): {exc!r}") from exc
             pool = _shared_pool(workers)
-            results = pool.map(_run_pickled_task, tasks, chunksize=chunksize)
+            try:
+                results = pool.map(_run_pickled_task, tasks,
+                                   chunksize=chunksize)
+            except Exception:
+                # The failure may have killed workers or desynchronised
+                # the result pipe; discard the pool so the next sweep
+                # forks a fresh one instead of hanging on a broken one.
+                shutdown_shared_pool()
+                raise
         else:
             # Fork inheritance: the initializer receives run_one by
             # address space, so closures and lambdas work — at the price

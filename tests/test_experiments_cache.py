@@ -137,6 +137,62 @@ def test_identity_rejects_lambda_closure_and_unserializable_partial():
         functools.partial(run_one_linear, knob=object())) is None
 
 
+class StatefulRunner:
+    def __init__(self, scale):
+        self.scale = scale
+
+    def run_point(self, seed, knob):
+        return {"value": knob * self.scale + seed}
+
+
+def test_identity_rejects_bound_methods():
+    """A bound method's __qualname__/__closure__ look cacheable, but the
+    instance state behind __self__ is invisible to the key — caching it
+    would replay Runner(1)'s rows for Runner(1000)."""
+    import functools
+
+    assert run_one_identity(StatefulRunner(1).run_point) is None
+    assert run_one_identity(
+        functools.partial(StatefulRunner(1).run_point, knob=2)) is None
+
+
+def test_sweep_bound_method_uncacheable_never_cross_contaminates(tmp_path):
+    cache = RunCache(tmp_path)
+    small = sweep("X", "t", StatefulRunner(1).run_point, grid(knob=[3]),
+                  cache=cache)
+    large = sweep("X", "t", StatefulRunner(1000).run_point, grid(knob=[3]),
+                  cache=cache)
+    assert small.column("value") == [3]
+    assert large.column("value") == [3000]  # not a replay of Runner(1)
+    assert cache.disk_stats()["entries"] == 0
+    assert cache.stats.snapshot()["uncacheable"] == 2
+
+
+def test_identity_tracks_run_one_source_outside_package(tmp_path):
+    """Editing a run_one defined outside src/repro must change its
+    identity — the package source digest cannot see it."""
+    import importlib.util
+
+    module_path = tmp_path / "user_experiment.py"
+
+    def load():
+        spec = importlib.util.spec_from_file_location(
+            "user_experiment", module_path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        cache_mod._FUNCTION_SOURCE_MEMO.clear()  # fresh process would
+        return run_one_identity(module.run_point)
+
+    module_path.write_text(
+        "def run_point(seed, knob):\n    return {'v': knob}\n")
+    before = load()
+    module_path.write_text(
+        "def run_point(seed, knob):\n    return {'v': knob * 2}\n")
+    after = load()
+    assert before is not None and after is not None
+    assert before != after
+
+
 # ---------------------------------------------------------------------------
 # The on-disk store
 # ---------------------------------------------------------------------------
@@ -182,6 +238,41 @@ def test_rows_that_do_not_replay_exactly_are_not_cached(tmp_path):
     assert not cache.put(key, {"v": (1, 2)})        # tuple -> list
     assert not cache.put(key, {"v": object()})      # not serializable
     assert cache.stats.snapshot()["uncacheable"] == 2
+    assert cache.disk_stats()["entries"] == 0
+
+
+def test_nan_rows_are_cacheable(tmp_path):
+    """allow_nan serialization round-trips NaN faithfully; NaN != NaN
+    must not make every NaN-bearing row (averaged_over_seeds emits them
+    for empty groups) silently uncacheable forever."""
+    import math
+
+    cache = RunCache(tmp_path)
+    key = cache_key("X", "m:f", {"k": 1}, 0, src_digest="s")
+    row = {"value": float("nan"), "count": 2}
+    assert cache.put(key, row, {"mean": float("nan")})
+    entry = cache.get(key)
+    assert math.isnan(entry["row"]["value"])
+    assert entry["row"]["count"] == 2
+    assert math.isnan(entry["telemetry"]["mean"])
+    assert cache.stats.snapshot()["uncacheable"] == 0
+
+
+def test_clear_skips_foreign_files(tmp_path):
+    """clear() pointed at the wrong directory (mistyped REPRO_CACHE_DIR)
+    must only delete files matching the entry layout."""
+    cache = RunCache(tmp_path)
+    key = cache_key("X", "m:f", {"k": 1}, 0, src_digest="s")
+    assert cache.put(key, {"v": 1})
+    foreign = [tmp_path / "settings.json",
+               tmp_path / "data" / "results.json",
+               tmp_path / key[:2] / "notes.json"]
+    for path in foreign:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{}")
+    assert cache.clear() == 1
+    for path in foreign:
+        assert path.exists()
     assert cache.disk_stats()["entries"] == 0
 
 

@@ -172,6 +172,28 @@ def test_sweep_unpicklable_point_raises_clear_error():
                {"pairs": 1, "channel_plan": "y"}], workers=2)
 
 
+def _run_one_boom(seed, k):
+    raise ValueError("boom")
+
+
+def _run_one_square(seed, k):
+    return {"v": k * k}
+
+
+def test_sweep_failure_resets_shared_pool():
+    """A failure escaping pool.map must tear the shared pool down so the
+    next sweep re-forks instead of running on a broken pool."""
+    import repro.experiments.sweeps as sweeps_mod
+
+    with pytest.raises(ValueError, match="boom"):
+        sweep("X", "t", _run_one_boom, grid(k=[1, 2, 3]), workers=2)
+    assert sweeps_mod._SHARED_POOL is None
+    # The next parallel sweep gets a fresh pool and works normally.
+    ok = sweep("X", "t", _run_one_square, grid(k=[1, 2, 3]), workers=2)
+    assert ok.column("v") == [1, 4, 9]
+    assert ok.meta["parallel"] is True
+
+
 def test_averaged_over_seeds_aggregates_telemetry():
     result = ExperimentResult("X", "t", ["seed", "knob", "metric"])
     telemetry = []
