@@ -1,0 +1,36 @@
+"""Kernel batched-execution storm: batched vs legacy timer throughput.
+
+The homogeneous-timer storm (100 k slot-quantised MAC backoffs + 10 k
+self-rescheduling lease-renewal chains) is the regime the batched event
+engine targets; `repro.cli bench` gates it via `BENCH_storm.json`, and
+this table-regenerating bench records the same figures in
+``results.txt`` alongside the paper tables.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.bench import STORM_MIN_SPEEDUP, bench_storm
+from repro.experiments.harness import ExperimentResult
+
+
+def test_batched_storm_vs_legacy(benchmark, record_table):
+    storm = benchmark.pedantic(lambda: bench_storm(repeats=2),
+                               iterations=1, rounds=1)
+    result = ExperimentResult(
+        "BENCH-storm",
+        "batched vs legacy kernel on the homogeneous-timer storm",
+        ["mode", "events", "wall_s", "events_per_sec"])
+    result.add_row(mode="batched", events=storm["events"],
+                   wall_s=storm["batched_wall_s"],
+                   events_per_sec=storm["batched_events_per_sec"])
+    result.add_row(mode="legacy", events=storm["events"],
+                   wall_s=storm["legacy_wall_s"],
+                   events_per_sec=storm["legacy_events_per_sec"])
+    result.notes.append(
+        f"speedup {storm['speedup']:.1f}x "
+        f"(floor {STORM_MIN_SPEEDUP:.0f}x), outcomes identical: "
+        f"{storm['outcomes_identical']} — {storm['backoffs']} backoffs + "
+        f"{storm['renewals']} renewal chains over {storm['horizon_s']:.0f}s")
+    record_table(result)
+    assert storm["outcomes_identical"]
+    assert storm["speedup"] >= STORM_MIN_SPEEDUP

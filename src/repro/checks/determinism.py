@@ -68,6 +68,9 @@ class DeterminismVisitor(ast.NodeVisitor):
     def __init__(self, path: str) -> None:
         self.path = path
         self.findings: List[Finding] = []
+        # heapq is the kernel's private ordering primitive (LPC107):
+        # only modules under a kernel/ directory may import it.
+        self.in_kernel = "kernel" in path.replace("\\", "/").split("/")
         # Names bound by imports, each a set of local aliases.
         self.time_mods: Set[str] = set()        # import time [as t]
         self.datetime_mods: Set[str] = set()    # import datetime [as dt]
@@ -100,10 +103,18 @@ class DeterminismVisitor(ast.NodeVisitor):
                 self.findings.append(_finding(
                     self.path, node, "LPC102",
                     "import of the stdlib 'random' module"))
+            elif alias.name == "heapq" and not self.in_kernel:
+                self.findings.append(_finding(
+                    self.path, node, "LPC107",
+                    "import of heapq outside the kernel"))
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         module = node.module or ""
+        if node.level == 0 and module == "heapq" and not self.in_kernel:
+            self.findings.append(_finding(
+                self.path, node, "LPC107",
+                "import from heapq outside the kernel"))
         if node.level == 0 and module == "random":
             self.findings.append(_finding(
                 self.path, node, "LPC102",

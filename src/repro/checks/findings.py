@@ -123,6 +123,16 @@ _rule("LPC106", "mutable default argument", ERROR,
       "so state leaks across calls and across simulator instances.",
       "default to None and create the container inside the function")
 
+_rule("LPC107", "direct heapq use outside the kernel", ERROR,
+      "Event ordering is the kernel's contract: heap and batch entries "
+      "share one global sequence counter, and the two-source merge in "
+      "Simulator.run is the only place allowed to decide what fires "
+      "next. A private heapq elsewhere re-implements that ordering "
+      "without the tie-break, span-context, and cancellation semantics, "
+      "and its outcomes silently diverge from the batching=False oracle.",
+      "schedule through sim.schedule/schedule_at or a sim.batch_class "
+      "timer queue instead of a private heap")
+
 # ---------------------------------------------------------------------------
 # LPC2xx — layer boundaries
 # ---------------------------------------------------------------------------

@@ -367,13 +367,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     sweeps = bench.bench_sweeps(workers=args.workers)
     sweeps_path = bench.write_bench_json(out_dir, sweeps)
     print(f"sweeps: serial {sweeps['serial_wall_s']:.2f}s, "
-          f"parallel({sweeps['workers']}) {sweeps['parallel_wall_s']:.2f}s, "
+          f"parallel({sweeps['workers']}) {sweeps['parallel_wall_s']:.2f}s "
+          f"({sweeps['parallel_speedup']:.2f}x on {sweeps['cpus']} cpus), "
           f"cache hit rate {sweeps['link_cache']['hit_rate']:.1%}"
           f" -> {sweeps_path}")
-    if not sweeps["rows_identical"]:
-        print("error: parallel sweep rows differ from serial rows",
-              file=sys.stderr)
-        return 1
 
     trace = bench.bench_trace(repeats=args.repeats)
     if args.raw is not None:
@@ -402,20 +399,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"({cache['warm_speedup']:.0f}x, "
           f"identical={cache['rows_identical']}) -> {cache_path}")
 
+    storm = bench.bench_storm(repeats=args.repeats)
+    storm_path = bench.write_bench_json(out_dir, storm)
+    print(f"storm: batched {storm['batched_events_per_sec']:,.0f} events/sec "
+          f"vs legacy {storm['legacy_events_per_sec']:,.0f} "
+          f"({storm['speedup']:.1f}x, "
+          f"identical={storm['outcomes_identical']}) -> {storm_path}")
+
     scale_baseline_path = baseline_path.parent / "baseline_scale.json"
     cache_baseline_path = baseline_path.parent / "baseline_cache.json"
+    storm_baseline_path = baseline_path.parent / "baseline_storm.json"
     if args.update_baseline:
         baseline_path.parent.mkdir(parents=True, exist_ok=True)
         baseline_path.write_text(kernel_path.read_text())
         scale_baseline_path.write_text(scale_path.read_text())
         cache_baseline_path.write_text(cache_path.read_text())
+        storm_baseline_path.write_text(storm_path.read_text())
         print(f"baseline updated -> {baseline_path}")
         print(f"baseline updated -> {scale_baseline_path}")
         print(f"baseline updated -> {cache_baseline_path}")
+        print(f"baseline updated -> {storm_baseline_path}")
         return 0
 
     baseline = bench.load_baseline(baseline_path)
     failures = bench.check_regression(kernel, baseline)
+    # Sweep gate: serial/parallel row identity everywhere; the parallel
+    # speedup floor only on hosts with enough usable cores for a pool.
+    failures += bench.check_sweeps_regression(sweeps)
     # Trace gate: disabled-path floor vs the same kernel baseline, plus
     # machine-independent within-run overhead ratios.
     trace_baseline = baseline if (
@@ -431,6 +441,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # cache baseline when one exists.
     failures += bench.check_cache_regression(
         cache, bench.load_baseline(cache_baseline_path))
+    # Storm gate: batched/legacy outcome identity and the batched-engine
+    # speedup floor always; absolute batched throughput vs the committed
+    # storm baseline when one exists.
+    failures += bench.check_storm_regression(
+        storm, bench.load_baseline(storm_baseline_path))
     for failure in failures:
         print(f"regression: {failure}", file=sys.stderr)
     if not failures:

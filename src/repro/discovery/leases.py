@@ -22,6 +22,12 @@ from ..kernel.scheduler import Simulator
 _lease_seq = itertools.count(1)
 
 
+def _fire_sweep(_owner: int, table: "LeaseTable") -> None:
+    """Batched sweep-timer callback (module-level so every table shares
+    one ``lease.sweep`` class; see repro.kernel.batchq)."""
+    table._sweep_fire()
+
+
 @dataclass
 class Lease:
     """One time-bounded grant."""
@@ -74,8 +80,17 @@ class LeaseTable:
         self._m_renewed = metrics.counter("leases.renewed")
         self._m_expired = metrics.counter("leases.expired")
         self._m_cancelled = metrics.counter("leases.cancelled")
-        self._sweeper = sim.every(sweep_interval, self.sweep,
-                                  priority=Priority.PROTOCOL)
+        # The periodic expiry sweep rides the kernel's batched timer path:
+        # one shared ``lease.sweep`` class per simulator, self-rescheduling
+        # with the same (time, priority, seq) consumption a PeriodicTask
+        # would have (one event per period, re-armed after the sweep body).
+        self._sweep_interval = sweep_interval
+        self._sweep_stopped = False
+        self._sweep_q = sim.batch_class("lease.sweep", _fire_sweep,
+                                        priority=int(Priority.PROTOCOL),
+                                        cancellable=True, shared=True)
+        self._sweep_handle = self._sweep_q.schedule(sweep_interval,
+                                                    payload=self)
 
     # ------------------------------------------------------------------
     def grant(self, holder: str, resource: str, duration: float) -> Lease:
@@ -147,8 +162,19 @@ class LeaseTable:
         now = self.sim.now
         return [l for l in self._leases.values() if not l.expired(now)]
 
+    def _sweep_fire(self) -> None:
+        if self._sweep_stopped:
+            return
+        self.sweep()
+        if not self._sweep_stopped and not self.sim.stopped:
+            self._sweep_handle = self._sweep_q.schedule(
+                self._sweep_interval, payload=self)
+
     def stop(self) -> None:
-        self._sweeper.cancel()
+        self._sweep_stopped = True
+        if self._sweep_handle is not None:
+            self._sweep_handle.cancel()
+            self._sweep_handle = None
 
     def __len__(self) -> int:
         return len(self._leases)

@@ -85,10 +85,10 @@ def _run_task(task: Tuple[int, int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any
     return index, dict(_WORKER_RUN_ONE[0](seed=seed, **point))
 
 
-def _run_pickled_task(task: Tuple[Callable[..., Mapping[str, Any]],
-                                  int, int, Dict[str, Any]],
+def _run_pickled_task(run_one: Callable[..., Mapping[str, Any]],
+                      task: Tuple[int, int, Dict[str, Any]],
                       ) -> Tuple[int, Dict[str, Any]]:
-    run_one, index, seed, point = task
+    index, seed, point = task
     return index, dict(run_one(seed=seed, **point))
 
 
@@ -167,24 +167,33 @@ def _is_picklable(value: Any) -> bool:
 
 def _execute_parallel(run_one: Callable[..., Mapping[str, Any]],
                       pending: List[Tuple[int, int, Dict[str, Any]]],
-                      workers: int) -> Dict[int, Dict[str, Any]]:
-    """Fan ``pending`` tasks across processes; rows keyed by task index."""
+                      workers: int,
+                      ) -> Tuple[Dict[int, Dict[str, Any]], Dict[str, int]]:
+    """Fan ``pending`` tasks across processes; rows keyed by task index.
+
+    Also returns a ``{"tasks": ..., "rows": ...}`` accounting of the
+    pickled bytes that crossed the pool pipe, which ``sweep`` records in
+    ``result.meta["bytes_shipped"]``.  ``run_one`` rides in the *mapper*
+    (pickled once per chunk), not in every task tuple — per-task traffic
+    is just ``(index, seed, point)`` out and the row dict back.
+    """
+    import functools
+
     effective = min(workers, len(pending))
     chunksize = _adaptive_chunksize(len(pending), effective)
     try:
         if _is_picklable(run_one):
-            tasks = [(run_one, index, seed, point)
-                     for index, seed, point in pending]
             try:
-                pickle.dumps(tasks)
+                task_blob = pickle.dumps(pending)
             except Exception as exc:
                 raise ExperimentError(
                     "sweep point values must be picklable for parallel "
                     f"execution (workers>1): {exc!r}") from exc
             pool = _shared_pool(workers)
             try:
-                results = pool.map(_run_pickled_task, tasks,
-                                   chunksize=chunksize)
+                results = pool.map(
+                    functools.partial(_run_pickled_task, run_one),
+                    pending, chunksize=chunksize)
             except Exception:
                 # The failure may have killed workers or desynchronised
                 # the result pipe; discard the pool so the next sweep
@@ -195,6 +204,7 @@ def _execute_parallel(run_one: Callable[..., Mapping[str, Any]],
             # Fork inheritance: the initializer receives run_one by
             # address space, so closures and lambdas work — at the price
             # of a fresh pool for this one sweep.
+            task_blob = pickle.dumps(pending)
             ctx = multiprocessing.get_context("fork")
             with ctx.Pool(effective, initializer=_init_worker,
                           initargs=(run_one,)) as pool:
@@ -204,7 +214,8 @@ def _execute_parallel(run_one: Callable[..., Mapping[str, Any]],
             "run_one returned a row that cannot cross the process "
             "boundary (not picklable); return plain dicts of scalars "
             f"— {exc!r}") from exc
-    return dict(results)
+    shipped = {"tasks": len(task_blob), "rows": len(pickle.dumps(results))}
+    return dict(results), shipped
 
 
 # ---------------------------------------------------------------------------
@@ -236,8 +247,9 @@ def sweep(experiment_id: str, title: str,
 
     The result's ``meta`` dict records how the sweep actually ran:
     ``workers`` (requested), ``parallel`` (whether a pool was used),
-    ``computed`` / ``cached`` task counts, and a per-sweep ``cache``
-    stats delta when caching was on.
+    ``computed`` / ``cached`` task counts, a ``bytes_shipped`` account
+    of pickled pipe traffic (``{"tasks", "rows"}``) when a pool was
+    used, and a per-sweep ``cache`` stats delta when caching was on.
     """
     if not isinstance(workers, int) or isinstance(workers, bool):
         raise ExperimentError(f"workers must be an int, not {workers!r}")
@@ -284,10 +296,12 @@ def sweep(experiment_id: str, title: str,
     # ---- phase 2: execute the misses ---------------------------------
     global _WARNED_NO_FORK
     parallel = False
+    bytes_shipped: Optional[Dict[str, int]] = None
     if workers > 1 and len(pending) > 1:
         if _fork_available():
             parallel = True
-            computed = _execute_parallel(run_one, pending, workers)
+            computed, bytes_shipped = _execute_parallel(run_one, pending,
+                                                        workers)
         else:
             if not _WARNED_NO_FORK:
                 _WARNED_NO_FORK = True
@@ -337,6 +351,8 @@ def sweep(experiment_id: str, title: str,
         "computed": len(pending),
         "cached": len(replayed),
     })
+    if bytes_shipped is not None:
+        result.meta["bytes_shipped"] = bytes_shipped
     if run_cache is not None:
         after = run_cache.stats.snapshot()
         delta = {name: after[name] - stats_before[name]

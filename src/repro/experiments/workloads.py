@@ -57,15 +57,18 @@ def projector_room(seed: int = 0, *, trace: bool = True,
                    announce_interval: float = 5.0,
                    viewer_fps: float = 15.0,
                    register: bool = True,
-                   culling: bool = True) -> Room:
+                   culling: bool = True,
+                   batching: bool = True) -> Room:
     """Build the Smart Projector room.
 
     When ``register`` is True the adapter registers both services as soon
     as it discovers the lookup service (a few hundred milliseconds in).
     ``culling=False`` makes the medium scan every station exhaustively —
     outcome-identical, used to validate the spatial-grid fast path.
+    ``batching=False`` likewise pins the kernel to the legacy per-event
+    heap — the oracle the batched timer path is held byte-identical to.
     """
-    sim = Simulator(seed=seed, trace=trace)
+    sim = Simulator(seed=seed, trace=trace, batching=batching)
     world = World(width, height)
     medium = WirelessMedium(sim, world, culling=culling)
 
@@ -175,7 +178,8 @@ def broadcast_room(stations: int, *, seed: int = 7, culling: bool = True,
                    tx_power_dbm: float = 0.0, channel: int = 6,
                    frames_per_second: float = 2.0,
                    frame_bytes: int = 66,
-                   trace: bool = False) -> BroadcastRoom:
+                   trace: bool = False,
+                   batching: bool = True) -> BroadcastRoom:
     """Scatter ``stations`` broadcasting MACs over a large world.
 
     The geometry is deliberately sparse (high path-loss exponent, modest
@@ -184,7 +188,7 @@ def broadcast_room(stations: int, *, seed: int = 7, culling: bool = True,
     delivered frame is appended to ``deliveries`` as ``(time, src, rx)``,
     giving the equivalence tests a byte-comparable outcome log.
     """
-    sim = Simulator(seed=seed, trace=trace)
+    sim = Simulator(seed=seed, trace=trace, batching=batching)
     world = World(width, height)
     propagation = PropagationModel(exponent=exponent,
                                    shadowing_sigma_db=sigma_db,

@@ -23,6 +23,7 @@ from .errors import (
     SimulationFinished,
     TransportError,
 )
+from .batchq import BatchHandle, BatchQueue, UnbatchedQueue
 from .events import Event, Priority
 from .process import Process, Signal, spawn
 from .random import RandomStreams
@@ -31,6 +32,8 @@ from .trace import NULL_SPAN, Span, TraceRecord, Tracer
 
 __all__ = [
     "AddressError",
+    "BatchHandle",
+    "BatchQueue",
     "ConfigurationError",
     "ConstraintViolation",
     "DiscoveryError",
@@ -57,5 +60,6 @@ __all__ = [
     "TraceRecord",
     "Tracer",
     "TransportError",
+    "UnbatchedQueue",
     "spawn",
 ]

@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Dict, List, Optional
 
+from .batchq import COMPACT_MIN_QUEUE, BatchQueue, UnbatchedQueue
 from .errors import ScheduleError, SimulationFinished
 from .events import Event, Priority
 from .random import RandomStreams
@@ -36,9 +37,7 @@ from .trace import NULL_SPAN, Span, TraceRecord, Tracer
 #: (every in-flight transmission holds at most a handful of timers).
 FREE_LIST_CAP: int = 4096
 
-#: Minimum queue size before cancellation-triggered compaction kicks in —
-#: below this, the lazy pop-at-head discard is always cheap enough.
-COMPACT_MIN_QUEUE: int = 64
+__all__ = ["COMPACT_MIN_QUEUE", "FREE_LIST_CAP", "PeriodicTask", "Simulator"]
 
 _PROTOCOL = int(Priority.PROTOCOL)
 
@@ -53,6 +52,13 @@ class Simulator:
         trace_capacity: optional bound on stored trace records.
         trace_mode: bounded-buffer policy when ``trace_capacity`` is set —
             ``"head"`` drops the newest records, ``"ring"`` the oldest.
+        batching: whether :meth:`batch_class` returns the struct-of-arrays
+            batched engine (the default) or a legacy per-event shim — the
+            byte-identical oracle path the equivalence tests compare
+            against.
+        batch_spans: emit a ``kernel.cohort`` span around every batched
+            cohort.  Off by default because extra spans would break the
+            batching-equivalence oracle; turn on for engine debugging.
 
     Example:
         >>> sim = Simulator(seed=1)
@@ -70,6 +76,8 @@ class Simulator:
         trace: bool = True,
         trace_capacity: Optional[int] = None,
         trace_mode: str = "head",
+        batching: bool = True,
+        batch_spans: bool = False,
     ) -> None:
         self._now: float = 0.0
         self._queue: List[Event] = []
@@ -94,6 +102,21 @@ class Simulator:
         #: arbitrary shared registry for components to find each other
         #: (e.g. the radio medium, the lookup service); keyed by name.
         self.context: Dict[str, Any] = {}
+        self.batching = bool(batching)
+        self.batch_spans = bool(batch_spans)
+        #: registered homogeneous batch classes (see :meth:`batch_class`).
+        self._batches: List[BatchQueue] = []
+        self._batch_names: Dict[str, Any] = {}
+        #: cached global batch head ``(time, priority, seq, queue)`` plus
+        #: the best head among the *other* classes (the drain limit), and
+        #: the dirty flag that forces a rescan.  A schedule can only lower
+        #: the minimum, so it updates the cache in O(1); cancels and drains
+        #: set the flag instead.
+        self._bhead: Optional[tuple] = None
+        self._bsecond: Optional[tuple] = None
+        self._bdirty = False
+        #: ``kernel.cancelled_ratio`` gauge, created with the registry.
+        self._cancel_gauge: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock and scheduling
@@ -201,6 +224,93 @@ class Simulator:
         return task
 
     # ------------------------------------------------------------------
+    # Batched homogeneous event classes
+    # ------------------------------------------------------------------
+    def batch_class(self, name: str, fn: Callable[[int, Any], None], *,
+                    priority: int = Priority.PROTOCOL,
+                    cohort_fn: Optional[Callable[..., None]] = None,
+                    cancellable: bool = True, shared: bool = False) -> Any:
+        """Register a homogeneous event class (see :mod:`.batchq`).
+
+        ``fn(owner, payload)`` is the per-entry callback; every entry of
+        the class shares it, which is what lets the engine store entries
+        struct-of-arrays and drain same-deadline cohorts in one pass.
+        With ``shared=True`` a second registration under the same name
+        returns the existing queue (for module-level callbacks serving
+        many components); otherwise names are auto-suffixed on collision.
+        With ``batching=False`` the returned shim schedules plain heap
+        events, byte-identical to the pre-batching kernel.
+        """
+        names = self._batch_names
+        if shared:
+            existing = names.get(name)
+            if existing is not None:
+                if existing.fn is not fn:
+                    raise ScheduleError(
+                        f"batch class {name!r} already registered with a "
+                        "different callback")
+                return existing
+        elif name in names:
+            suffix = 2
+            while f"{name}#{suffix}" in names:
+                suffix += 1
+            name = f"{name}#{suffix}"
+        if self.batching:
+            queue: Any = BatchQueue(self, name, fn, int(priority),
+                                    cohort_fn=cohort_fn,
+                                    cancellable=cancellable)
+            self._batches.append(queue)
+        else:
+            queue = UnbatchedQueue(self, name, fn, int(priority),
+                                   cancellable=cancellable)
+        names[name] = queue
+        return queue
+
+    def _note_batch_key(self, time: float, priority: int, seq: int,
+                        queue: Any) -> None:
+        """O(1) head-cache maintenance for one newly scheduled entry."""
+        if self._bdirty:
+            return
+        head = self._bhead
+        if head is None:
+            self._bhead = (time, priority, seq, queue)
+            self._bsecond = None
+            return
+        if queue is head[3]:
+            if (time, priority, seq) < (head[0], head[1], head[2]):
+                self._bhead = (time, priority, seq, queue)
+            return
+        if (time, priority, seq) < (head[0], head[1], head[2]):
+            # The displaced head belonged to another class, so it is a
+            # valid (conservative) bound on every other class's head.
+            self._bsecond = (head[0], head[1], head[2])
+            self._bhead = (time, priority, seq, queue)
+        else:
+            second = self._bsecond
+            if second is None or (time, priority, seq) < second:
+                self._bsecond = (time, priority, seq)
+
+    def _rescan_batches(self) -> None:
+        """Recompute the global batch head and the best sibling head."""
+        best: Optional[tuple] = None
+        best_queue: Any = None
+        second: Optional[tuple] = None
+        for queue in self._batches:
+            key = queue._head_key()
+            if key is None:
+                continue
+            if best is None or key < best:
+                second = best
+                best = key
+                best_queue = queue
+            elif second is None or key < second:
+                second = key
+        self._bhead = None if best is None else (best[0], best[1], best[2],
+                                                 best_queue)
+        self._bsecond = second
+        self._bdirty = False
+
+    # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
@@ -214,6 +324,8 @@ class Simulator:
         """
         if self._stopped:
             raise SimulationFinished("simulator has been stopped")
+        if self._batches:
+            return self._run_merged(until, max_events)
         executed = 0
         queue = self._queue
         free = self._free
@@ -258,6 +370,88 @@ class Simulator:
         if until is not None and not self._stopped and self._now < until:
             self._now = until
         self.events_executed += executed
+        self._update_cancel_gauge()
+        return executed
+
+    def _run_merged(self, until: Optional[float],
+                    max_events: Optional[int]) -> int:
+        """The two-source merge: heap events interleaved with batch-class
+        drains on the full ``(time, priority, seq)`` key.
+
+        Taken only when batch classes exist, so the pure-heap loop above
+        keeps its zero-overhead fast path.  The heap branch mirrors that
+        loop statement for statement; the batch branch hands the winning
+        class a *limit* — the earliest foreign key (next heap event or
+        sibling class head) — and lets it drain whole cohorts below it.
+        """
+        executed = 0
+        queue = self._queue
+        free = self._free
+        pop = heapq.heappop
+        self._running = True
+        try:
+            while True:
+                while queue and queue[0].cancelled:
+                    event = pop(queue)
+                    self._cancelled_count -= 1
+                    if event.pooled and len(free) < FREE_LIST_CAP:
+                        free.append(event)
+                if self._bdirty:
+                    self._rescan_batches()
+                bhead = self._bhead
+                event = queue[0] if queue else None
+                if event is not None and (
+                        bhead is None
+                        or (event.time, event.priority, event.seq)
+                        < (bhead[0], bhead[1], bhead[2])):
+                    if until is not None and event.time > until:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
+                    pop(queue)
+                    self._now = event.time
+                    fn, args = event.fn, event.args
+                    event.fn, event.args = None, ()  # break ref cycles
+                    event.owner = None  # fired: late cancel() is a no-op
+                    ctx = event.ctx
+                    if ctx is not None or self._span_ctx is not None:
+                        self._span_ctx = ctx
+                        fn(*args)  # type: ignore[misc]
+                        self._span_ctx = None
+                    else:
+                        fn(*args)  # type: ignore[misc]
+                    executed += 1
+                    if event.pooled and len(free) < FREE_LIST_CAP:
+                        free.append(event)
+                    if self._stopped:
+                        break
+                elif bhead is not None:
+                    if until is not None and bhead[0] > until:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
+                    limit = self._bsecond
+                    if event is not None:
+                        heap_key = (event.time, event.priority, event.seq)
+                        if limit is None or heap_key < limit:
+                            limit = heap_key
+                    budget = (None if max_events is None
+                              else max_events - executed)
+                    drained = bhead[3]._drain(limit, until, budget)
+                    executed += drained
+                    self._bdirty = True
+                    if self._stopped:
+                        break
+                    if drained == 0:
+                        continue  # stale head (all dead): rescan and retry
+                else:
+                    break
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+        self.events_executed += executed
+        self._update_cancel_gauge()
         return executed
 
     def step(self) -> bool:
@@ -271,6 +465,11 @@ class Simulator:
             event.owner = None  # discarded: a late cancel() must not count
         self._queue.clear()
         self._cancelled_count = 0
+        for batch in self._batches:
+            batch._clear()
+        self._bhead = None
+        self._bsecond = None
+        self._bdirty = False
 
     @property
     def stopped(self) -> bool:
@@ -282,7 +481,10 @@ class Simulator:
         O(1): the scheduler tracks the exact count of dead entries instead
         of scanning the heap.
         """
-        return len(self._queue) - self._cancelled_count
+        live = len(self._queue) - self._cancelled_count
+        for batch in self._batches:
+            live += batch._live
+        return live
 
     def peek(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is empty."""
@@ -293,7 +495,15 @@ class Simulator:
             self._cancelled_count -= 1
             if event.pooled and len(free) < FREE_LIST_CAP:
                 free.append(event)
-        return queue[0].time if queue else None
+        head_time = queue[0].time if queue else None
+        if self._batches:
+            if self._bdirty:
+                self._rescan_batches()
+            bhead = self._bhead
+            if bhead is not None and (head_time is None
+                                      or bhead[0] < head_time):
+                head_time = bhead[0]
+        return head_time
 
     # ------------------------------------------------------------------
     # Cancellation bookkeeping
@@ -310,6 +520,24 @@ class Simulator:
         if (self._cancelled_count > COMPACT_MIN_QUEUE
                 and self._cancelled_count * 2 > len(self._queue)):
             self._compact()
+        self._update_cancel_gauge()
+
+    @property
+    def cancelled_ratio(self) -> float:
+        """Dead entries as a fraction of everything still stored — heap
+        plus batch classes.  The same number is exposed live as the
+        ``kernel.cancelled_ratio`` gauge once the metrics registry exists."""
+        dead = self._cancelled_count
+        total = len(self._queue)
+        for batch in self._batches:
+            dead += batch._dead
+            total += batch._live + batch._dead
+        return dead / total if total else 0.0
+
+    def _update_cancel_gauge(self) -> None:
+        gauge = self._cancel_gauge
+        if gauge is not None:
+            gauge.set(self.cancelled_ratio)
 
     def _compact(self) -> None:
         """Rebuild the heap without its cancelled entries.
@@ -418,7 +646,21 @@ class Simulator:
         if registry is None:
             from ..metrics.registry import MetricsRegistry
             registry = self._metrics = MetricsRegistry(self)
+            self._cancel_gauge = registry.gauge("kernel.cancelled_ratio")
+            registry.register_probe("kernel", self._kernel_probe)
         return registry
+
+    def _kernel_probe(self) -> Dict[str, Any]:
+        """Engine self-observability for metric snapshots.  Reflects the
+        *internal* event store (batched vs legacy runs differ here even
+        when outcomes are byte-identical), so the equivalence oracle
+        excludes it — see docs/performance.md."""
+        return {
+            "cancelled_ratio": self.cancelled_ratio,
+            "compactions": self.compactions,
+            "batch": {batch.name: batch.stats()
+                      for batch in self._batch_names.values()},
+        }
 
 
 class _SpanScope:

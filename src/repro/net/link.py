@@ -18,7 +18,19 @@ from ..kernel.events import Priority
 from ..kernel.scheduler import Simulator
 from .addresses import validate_address
 from .frames import Frame
-from .queueing import DropTailQueue
+from .queueing import DropTailQueue, Pacer
+
+_MEDIUM_PRI = int(Priority.MEDIUM)
+
+
+def _fire_sent(_owner: int, pack: tuple) -> None:
+    port, frame = pack
+    port._sent(frame)
+
+
+def _fire_deliver(_owner: int, pack: tuple) -> None:
+    port, frame = pack
+    port._deliver(frame)
 
 
 class WiredPort:
@@ -54,8 +66,7 @@ class WiredPort:
         frame = self.queue.pop()
         self._busy = True
         tx_time = 8.0 * frame.wire_bytes / self.link.rate_bps
-        self.link.sim.schedule(tx_time, self._sent, frame,
-                               priority=Priority.MEDIUM)
+        self.link._sent_pacer.after(tx_time, payload=(self, frame))
 
     def _sent(self, frame: Frame) -> None:
         self._busy = False
@@ -97,6 +108,12 @@ class WiredLink:
         self.loss = float(loss)
         self.queue_frames = queue_frames
         self._rng = sim.rng(f"link.{a}--{b}")
+        # Serialisation-end and propagation timers ride the batched path;
+        # shared by name, so every wired link drains from the same queues.
+        self._sent_pacer = Pacer(sim, "link.sent", _fire_sent,
+                                 priority=_MEDIUM_PRI)
+        self._deliver_pacer = Pacer(sim, "link.deliver", _fire_deliver,
+                                    priority=_MEDIUM_PRI)
         self.port_a = WiredPort(self, a)
         self.port_b = WiredPort(self, b)
         self.frames_lost = 0
@@ -111,8 +128,7 @@ class WiredLink:
         # Point-to-point: deliver unicast-for-us and broadcast frames; a
         # frame addressed elsewhere still arrives (the far end may be a
         # bridge that forwards it).
-        self.sim.schedule(self.delay_s, to_port._deliver, frame,
-                          priority=Priority.MEDIUM)
+        self._deliver_pacer.after(self.delay_s, payload=(to_port, frame))
 
     def other_end(self, address: str) -> WiredPort:
         """The port opposite the one named ``address``."""

@@ -76,6 +76,26 @@ FADE_MARGIN_DB: float = 30.0
 _DECODE_FLOOR_SINR_DB: Optional[float] = None
 
 
+# ----------------------------------------------------------------------
+# Batched timer callbacks (module-level so `shared=True` batch classes
+# registered by several media on one simulator compare equal).  These are
+# the three hottest timers in the whole simulator — DIFS/backoff expiry,
+# genie-ACK turnaround, and transmission end — and they run through the
+# kernel's struct-of-arrays batch queues (see repro.kernel.batchq).
+# ----------------------------------------------------------------------
+def _fire_attempt(_owner: int, mac: "CsmaMac") -> None:
+    mac._attempt()
+
+
+def _fire_ack(_owner: int, pack: tuple) -> None:
+    mac, frame, delivered = pack
+    mac._ack_outcome(frame, delivered)
+
+
+def _fire_finish(_owner: int, tx: "Transmission") -> None:
+    tx.sender.medium._finish(tx)
+
+
 def _decode_floor_sinr_db() -> float:
     """Highest SINR (dB) at which decoding is *certain* to fail.
 
@@ -200,6 +220,19 @@ class WirelessMedium:
         })
         #: cumulative airtime per channel — what a passive scan observes.
         self.channel_airtime: Dict[int, float] = {}
+        # Homogeneous timer classes on the kernel's batched path.  All
+        # three are fire-and-forget (the legacy code used schedule_bound,
+        # which returns no handle either), and shared so several media on
+        # one simulator drain from the same struct-of-arrays queues.
+        self._attempt_q = sim.batch_class(
+            "mac.attempt", _fire_attempt, priority=_PROTOCOL_PRI,
+            cancellable=False, shared=True)
+        self._ack_q = sim.batch_class(
+            "mac.ack", _fire_ack, priority=_PROTOCOL_PRI,
+            cancellable=False, shared=True)
+        self._finish_q = sim.batch_class(
+            "medium.finish", _fire_finish, priority=_MEDIUM_PRI,
+            cancellable=False, shared=True)
 
     # Back-compat attribute names; the counters are the source of truth.
     @property
@@ -421,8 +454,7 @@ class WirelessMedium:
             tx.span = self.sim.span_begin(
                 "mac.tx", mac.address, frame=frame.frame_id, dst=frame.dst,
                 channel=mac.channel, rate=rate.name)
-        self.sim.schedule_bound(duration, self._finish, (tx,),
-                                priority=_MEDIUM_PRI)
+        self._finish_q.schedule(duration, payload=tx)
         self.sim.trace("mac.tx", mac.address,
                        f"tx #{frame.frame_id} -> {frame.dst} @{rate.name}",
                        bytes=frame.wire_bytes, channel=mac.channel)
@@ -659,8 +691,7 @@ class CsmaMac:
     def _kick(self) -> None:
         if self._in_flight is None and self._queue and not self._attempt_pending:
             self._attempt_pending = True
-            self.sim.schedule_bound(DIFS_S, self._attempt,
-                                    priority=_PROTOCOL_PRI)
+            self.medium._attempt_q.schedule(DIFS_S, payload=self)
 
     def _attempt(self) -> None:
         self._attempt_pending = False
@@ -681,8 +712,7 @@ class CsmaMac:
         slots = int(self._rng.integers(0, self._cw))
         self._cw = min(self._cw * 2, self.CW_MAX)
         self._attempt_pending = True
-        self.sim.schedule_bound(DIFS_S + slots * SLOT_S, self._attempt,
-                                priority=_PROTOCOL_PRI)
+        self.medium._attempt_q.schedule(DIFS_S + slots * SLOT_S, payload=self)
 
     def select_rate(self, frame: Frame) -> RateMode:
         """PHY rate for this frame: pinned, or SINR-driven adaptation.
@@ -709,8 +739,8 @@ class CsmaMac:
             return
         # Sender learns the outcome one SIFS + ACK airtime later.
         self.stats["busy_time"] += ACK_TURNAROUND_S
-        self.sim.schedule_bound(ACK_TURNAROUND_S, self._ack_outcome,
-                                (frame, delivered), priority=_PROTOCOL_PRI)
+        self.medium._ack_q.schedule(ACK_TURNAROUND_S,
+                                    payload=(self, frame, delivered))
 
     def _ack_outcome(self, frame: Frame, delivered: bool) -> None:
         if delivered:

@@ -188,6 +188,38 @@ def test_lpc106_ignores_immutable_defaults(source):
 
 
 # ---------------------------------------------------------------------------
+# LPC107 — heapq outside the kernel
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("source", [
+    "import heapq\n",
+    "import heapq as hq\n",
+    "from heapq import heappush\n",
+    "from heapq import heappush, heappop\n",
+])
+def test_lpc107_flags_heapq_outside_kernel(source):
+    assert "LPC107" in codes(source)
+    assert "LPC107" in [f.code for f in
+                        check_source("src/repro/net/queueing.py", source)]
+
+
+@pytest.mark.parametrize("path", [
+    "src/repro/kernel/scheduler.py",
+    "src/repro/kernel/batchq.py",
+    "kernel/anything.py",
+])
+def test_lpc107_allows_heapq_inside_kernel(path):
+    assert "LPC107" not in [f.code for f in
+                            check_source(path, "import heapq\n")]
+
+
+def test_lpc107_ignores_lookalike_names():
+    # A module merely *mentioning* heapq, or importing a similarly named
+    # local module, is not a violation.
+    assert "LPC107" not in codes("import heapq2\n")
+    assert "LPC107" not in codes("x = 'heapq'\n")
+
+
+# ---------------------------------------------------------------------------
 # LPC001 — unparseable source
 # ---------------------------------------------------------------------------
 def test_lpc001_on_syntax_error():
@@ -209,6 +241,6 @@ def test_findings_carry_location_and_hint():
 def test_every_lpc1xx_rule_has_a_fixture():
     """The catalogue and this file enumerate the same determinism rules."""
     fixture_codes = {"LPC101", "LPC102", "LPC103", "LPC104", "LPC105",
-                     "LPC106"}
+                     "LPC106", "LPC107"}
     catalogue = {code for code in RULES if code.startswith("LPC1")}
     assert catalogue == fixture_codes

@@ -1,0 +1,142 @@
+"""Batched execution oracle: ``batching=True`` must be byte-identical to
+the legacy per-event heap on seeded workloads.
+
+The batched engine shares the kernel's global sequence counter, so every
+entry — heap or batch — consumes the same ``(time, priority, seq)`` key
+in both modes and the interleaving is *exactly* reproduced, not merely
+statistically equivalent.  These tests pin that contract on the three
+workloads that exercise the converted producers hardest: the full
+projector room with co-channel interferers (MAC backoff/ACK/finish
+timers), the broadcast-heavy scale room, and a lease storm (sweep +
+renewal chains).
+
+Process-global id counters (frame ids, lease ids, transport message ids,
+service-id suffixes) advance in construction order, not execution order,
+so absolute values differ between two rooms built in one process no
+matter the engine; messages are compared with those ids normalised away
+— the same convention as ``test_phys_culling_equivalence``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.discovery.leases import LeaseTable
+from repro.experiments.workloads import (broadcast_room, interferer_field,
+                                         projector_room)
+from repro.kernel.scheduler import Simulator
+
+#: Process-global id artifacts scrubbed from trace messages before
+#: comparison: frame ids ("#12"), lease/request ids, service-id suffixes.
+_ID = re.compile(r"#\d+|\b(?:lease|request) \d+|-\d{4}\b")
+
+#: Span/record data keys carrying those same process-global ids.
+_ID_KEYS = {"frame", "lease", "request", "msg"}
+
+
+def _records(sim):
+    return [(r.time, r.category, r.source, _ID.sub("<id>", r.message))
+            for r in sim.tracer.records]
+
+
+def _spans(sim):
+    return [(s.category, s.source, s.start, s.end, s.status,
+             {k: v for k, v in (s.data or {}).items() if k not in _ID_KEYS})
+            for s in sim.tracer.spans]
+
+
+def _metrics(sim):
+    """Metrics snapshot minus the kernel's own engine internals.
+
+    ``kernel.*`` gauges and the "kernel" probe report *how* events were
+    executed (cohorts, compactions, cancelled ratio) — legitimately
+    different between engines — while everything else reports *what*
+    the simulation did, which must match.
+    """
+    snap = sim.metrics.snapshot()
+    out = {}
+    for section, values in snap.items():
+        if isinstance(values, dict):
+            out[section] = {name: value for name, value in values.items()
+                            if not name.startswith("kernel")}
+        else:
+            out[section] = values
+    return out
+
+
+def _outcome(sim):
+    return (sim.now, sim.events_executed, _records(sim), _spans(sim),
+            _metrics(sim))
+
+
+def _projector_outcome(batching: bool):
+    room = projector_room(seed=3, batching=batching)
+    interferer_field(room, 6, frames_per_second=40.0)
+    room.sim.run(until=12.0)
+    macs = {name: dict(room.medium._macs[name].stats)
+            for name in room.medium.stations()}
+    return _outcome(room.sim) + (macs,)
+
+
+def test_projector_room_byte_identical():
+    batched = _projector_outcome(batching=True)
+    legacy = _projector_outcome(batching=False)
+    for got, want in zip(batched, legacy):
+        assert got == want
+
+
+def _broadcast_outcome(batching: bool):
+    room = broadcast_room(60, seed=11, batching=batching)
+    room.sim.run(until=6.0)
+    return (room.sim.now, room.sim.events_executed, list(room.deliveries))
+
+
+def test_broadcast_room_byte_identical():
+    assert _broadcast_outcome(True) == _broadcast_outcome(False)
+
+
+def _lease_storm_outcome(batching: bool):
+    """A renewal-chain storm straight on the lease table: grants with a
+    handful of standard durations, each renewed at 45% of its duration
+    until the horizon, under a fast sweep."""
+    sim = Simulator(seed=9, batching=batching)
+    table = LeaseTable(sim, sweep_interval=0.5)
+    rng = sim.rng("storm")
+    durations = [2.0, 3.0, 5.0]
+    renewed = [0]
+
+    def chain(lease_id: int, duration: float) -> None:
+        lease = table.get(lease_id)
+        if lease is None or sim.now + 0.45 * duration > 25.0:
+            return
+        table.renew(lease_id)
+        renewed[0] += 1
+        sim.schedule(0.45 * duration, chain, lease_id, duration)
+
+    for i in range(120):
+        duration = durations[int(rng.integers(0, len(durations)))]
+        lease = table.grant(f"holder-{i}", f"res-{i}", duration)
+        sim.schedule(0.45 * duration, chain, lease.lease_id, duration)
+
+    sim.run(until=30.0)
+    return (sim.now, sim.events_executed, renewed[0], len(table),
+            _records(sim), _metrics(sim))
+
+
+def test_lease_storm_byte_identical():
+    batched = _lease_storm_outcome(batching=True)
+    legacy = _lease_storm_outcome(batching=False)
+    for got, want in zip(batched, legacy):
+        assert got == want
+
+
+def test_storm_bench_outcomes_identical():
+    """The bench gate's identity invariant, pinned in tier-1: the
+    100k-backoff/10k-renewal storm executes the same events to the same
+    clock in both modes."""
+    from repro.experiments.bench import _storm_run
+
+    batched = _storm_run(batching=True)
+    legacy = _storm_run(batching=False)
+    for key in ("events", "fired_backoffs", "fired_renewals", "now"):
+        assert batched[key] == legacy[key]
