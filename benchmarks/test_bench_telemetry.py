@@ -1,0 +1,51 @@
+"""Telemetry export and streaming aggregation: JSONL vs columnar vs live.
+
+The columnar exporter exists for million-event runs; this
+table-regenerating bench runs the same synthetic workload through both
+writers at a CI-friendly scale and records bytes-on-disk, writer-only
+wall time, and the streaming-aggregation memory bound alongside the
+paper tables in ``results.txt``.  ``repro.cli bench`` gates the full
+1M-event figures via ``BENCH_telemetry.json``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.bench import (
+    TELEMETRY_MAX_MEMORY_RATIO,
+    TELEMETRY_MIN_SIZE_RATIO,
+    TELEMETRY_MIN_WRITE_SPEEDUP,
+    bench_telemetry,
+    check_telemetry_regression,
+)
+from repro.experiments.harness import ExperimentResult
+
+#: CI-friendly event count — gates are ratios, so they hold at any scale.
+BENCH_EVENTS = 200_000
+
+
+def test_telemetry_columnar_vs_jsonl(benchmark, record_table):
+    telemetry = benchmark.pedantic(
+        lambda: bench_telemetry(events=BENCH_EVENTS),
+        iterations=1, rounds=1)
+    result = ExperimentResult(
+        "BENCH-telemetry",
+        "telemetry export formats and streaming aggregation",
+        ["path", "events", "wall_s", "bytes"])
+    result.add_row(path="jsonl", events=telemetry["events"],
+                   wall_s=telemetry["jsonl_wall_s"],
+                   bytes=telemetry["jsonl_bytes"])
+    result.add_row(path="columnar", events=telemetry["events"],
+                   wall_s=telemetry["columnar_wall_s"],
+                   bytes=telemetry["columnar_bytes"])
+    result.notes.append(
+        f"columnar {telemetry['size_ratio']:.1f}x smaller "
+        f"(floor {TELEMETRY_MIN_SIZE_RATIO:.0f}x), "
+        f"{telemetry['write_speedup']:.1f}x faster "
+        f"(floor {TELEMETRY_MIN_WRITE_SPEEDUP:.0f}x); streaming peak "
+        f"{telemetry['stream_memory_ratio']:.2%} of replay "
+        f"(ceiling {TELEMETRY_MAX_MEMORY_RATIO:.0%}), summaries "
+        f"identical: {telemetry['summary_identical']}")
+    record_table(result)
+    assert telemetry["summary_identical"]
+    assert telemetry["stream_stored_records"] == 0
+    assert check_telemetry_regression(telemetry, None) == []

@@ -9,13 +9,17 @@ Subcommands:
   scenario and print the layered LPC report plus paper coverage.
 * ``report --lpc`` — run the scripted-week scenario and print the
   per-LPC-layer telemetry report (issue grid plus metrics).
+  ``--format json`` emits the same grid machine-readably; ``--stream``
+  renders from a live streaming aggregator instead of replaying stored
+  records (byte-identical either way).
 * ``bench`` — run the E10 kernel/sweep microbenchmarks plus the
-  population-scale culling and run-cache benchmarks, write
-  ``BENCH_kernel.json`` / ``BENCH_sweeps.json`` / ``BENCH_trace.json`` /
-  ``BENCH_scale.json`` / ``BENCH_cache.json``, and fail when event
-  throughput regresses >20% against the committed baseline (or the
-  culled/exhaustive outcomes diverge, or the warm-cache replay stops
-  paying).
+  population-scale culling, run-cache and telemetry-export benchmarks,
+  write ``BENCH_kernel.json`` / ``BENCH_sweeps.json`` /
+  ``BENCH_trace.json`` / ``BENCH_scale.json`` / ``BENCH_cache.json`` /
+  ``BENCH_telemetry.json``, and fail when event throughput regresses
+  >20% against the committed baseline (or the culled/exhaustive
+  outcomes diverge, or the warm-cache replay stops paying, or the
+  columnar exporter loses its size/speed edge over JSONL).
 * ``cache`` — inspect (``stats``) or empty (``clear``) the
   content-addressed run cache behind incremental sweeps; honours
   ``REPRO_CACHE_DIR``.
@@ -26,7 +30,8 @@ Subcommands:
 
 ``run`` and ``demo`` accept ``--trace CATEGORY_PREFIX`` and
 ``--trace-out FILE``: trace records (and completed spans) stream to the
-file as JSONL while the command runs.
+file while the command runs — one JSON object per line by default, or a
+packed struct-of-arrays ``.npz`` with ``--telemetry-format columnar``.
 """
 
 from __future__ import annotations
@@ -77,11 +82,20 @@ def _trace_export(args: argparse.Namespace) -> Iterator[None]:
     import pathlib
 
     from .kernel import trace as ktrace
-    from .telemetry.jsonl import JsonlWriter
 
+    telemetry_format = getattr(args, "telemetry_format", "jsonl")
     if prefix is None:
         prefix = ""  # empty prefix = everything
-    writer = JsonlWriter(pathlib.Path(out or "trace.jsonl"))
+    if telemetry_format == "columnar":
+        from .telemetry.columnar import ColumnarWriter
+
+        writer = ColumnarWriter(pathlib.Path(out or "trace.npz"))
+        label = "columnar"
+    else:
+        from .telemetry.jsonl import JsonlWriter
+
+        writer = JsonlWriter(pathlib.Path(out or "trace.jsonl"))
+        label = "JSONL"
     remove_record = ktrace.add_default_subscriber(prefix,
                                                   writer.write_record)
 
@@ -96,16 +110,22 @@ def _trace_export(args: argparse.Namespace) -> Iterator[None]:
         remove_record()
         remove_span()
         writer.close()
-        print(f"trace: {writer.lines} JSONL lines -> {writer.path}",
+        print(f"trace: {writer.lines} {label} lines -> {writer.path}",
               file=sys.stderr)
 
 
 def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", metavar="CATEGORY_PREFIX", default=None,
                         help="stream trace records/spans under this "
-                             "category prefix ('' = everything) as JSONL")
+                             "category prefix ('' = everything)")
     parser.add_argument("--trace-out", metavar="FILE", default=None,
-                        help="JSONL destination (default: trace.jsonl)")
+                        help="trace destination (default: trace.jsonl, "
+                             "or trace.npz with --telemetry-format "
+                             "columnar)")
+    parser.add_argument("--telemetry-format", choices=("jsonl", "columnar"),
+                        default="jsonl",
+                        help="trace export format: line-per-object JSONL "
+                             "(default) or packed columnar .npz")
 
 
 @contextlib.contextmanager
@@ -217,6 +237,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scenario seed (with --lpc)")
     report.add_argument("--horizon", type=float, default=240.0,
                         help="scenario horizon in seconds (with --lpc)")
+    report.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="with --lpc: classic text grid or the same "
+                             "grid as byte-stable JSON")
+    report.add_argument("--stream", action="store_true",
+                        help="with --lpc: render from a streaming "
+                             "aggregator folded during the run instead "
+                             "of replaying stored records (byte-"
+                             "identical output)")
     report.set_defaults(func=_cmd_report)
 
     bench = sub.add_parser(
@@ -272,18 +301,42 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.lpc:
-        from .experiments.e9_analysis import _scripted_week
-        from .telemetry.report import layer_report
+        import json
 
-        room, _model, _instrument = _scripted_week(seed=args.seed,
-                                                   horizon=args.horizon)
-        print(layer_report(
-            room.sim,
-            user_sources={"presenter", "casual-1", "visitor-1"},
-            title=f"LPC run report — scripted week (seed={args.seed}, "
-                  f"horizon={args.horizon:g}s)"),
-            end="")
+        from .experiments.e9_analysis import _scripted_week
+        from .telemetry.report import layer_report, layer_report_data
+
+        user_sources = {"presenter", "casual-1", "visitor-1"}
+        title = (f"LPC run report — scripted week (seed={args.seed}, "
+                 f"horizon={args.horizon:g}s)")
+        if args.stream:
+            # Fold telemetry live instead of replaying stored records:
+            # default hooks catch the simulator _scripted_week builds.
+            from .telemetry.streaming import StreamingAggregator
+
+            aggregator = StreamingAggregator(user_sources=user_sources)
+            remove = aggregator.install_default()
+            try:
+                room, _model, _instrument = _scripted_week(
+                    seed=args.seed, horizon=args.horizon)
+            finally:
+                remove()
+            source = aggregator.bind(room.sim)
+        else:
+            room, _model, _instrument = _scripted_week(
+                seed=args.seed, horizon=args.horizon)
+            source = room.sim
+        if args.fmt == "json":
+            data = layer_report_data(source, user_sources=user_sources,
+                                     title=title)
+            print(json.dumps(data, sort_keys=True, indent=2))
+        else:
+            print(layer_report(source, user_sources=user_sources,
+                               title=title), end="")
         return 0
+    if args.fmt == "json":
+        print("error: --format json needs --lpc", file=sys.stderr)
+        return 2
     from .experiments.report import build_report
 
     print(build_report(budget=args.budget, only=args.only))
@@ -406,19 +459,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"({storm['speedup']:.1f}x, "
           f"identical={storm['outcomes_identical']}) -> {storm_path}")
 
+    telemetry = bench.bench_telemetry()
+    telemetry_path = bench.write_bench_json(out_dir, telemetry)
+    print(f"telemetry: columnar {telemetry['size_ratio']:.1f}x smaller / "
+          f"{telemetry['write_speedup']:.1f}x faster than JSONL at "
+          f"{telemetry['events']:,} events, streaming peak "
+          f"{telemetry['stream_memory_ratio']:.1%} of replay, "
+          f"summaries identical={telemetry['summary_identical']} "
+          f"-> {telemetry_path}")
+
     scale_baseline_path = baseline_path.parent / "baseline_scale.json"
     cache_baseline_path = baseline_path.parent / "baseline_cache.json"
     storm_baseline_path = baseline_path.parent / "baseline_storm.json"
+    telemetry_baseline_path = baseline_path.parent / "baseline_telemetry.json"
     if args.update_baseline:
         baseline_path.parent.mkdir(parents=True, exist_ok=True)
         baseline_path.write_text(kernel_path.read_text())
         scale_baseline_path.write_text(scale_path.read_text())
         cache_baseline_path.write_text(cache_path.read_text())
         storm_baseline_path.write_text(storm_path.read_text())
+        telemetry_baseline_path.write_text(telemetry_path.read_text())
         print(f"baseline updated -> {baseline_path}")
         print(f"baseline updated -> {scale_baseline_path}")
         print(f"baseline updated -> {cache_baseline_path}")
         print(f"baseline updated -> {storm_baseline_path}")
+        print(f"baseline updated -> {telemetry_baseline_path}")
         return 0
 
     baseline = bench.load_baseline(baseline_path)
@@ -446,6 +511,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # storm baseline when one exists.
     failures += bench.check_storm_regression(
         storm, bench.load_baseline(storm_baseline_path))
+    # Telemetry gate: streaming/replay byte-identity, columnar size and
+    # speed floors, bounded streaming memory, and the PR 2-style
+    # disabled-path ceiling vs the committed kernel baseline.
+    failures += bench.check_telemetry_regression(
+        telemetry, bench.load_baseline(telemetry_baseline_path),
+        kernel_baseline=baseline)
     for failure in failures:
         print(f"regression: {failure}", file=sys.stderr)
     if not failures:

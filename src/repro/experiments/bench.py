@@ -720,6 +720,311 @@ def check_scale_regression(current: Dict[str, Any],
 
 
 # ---------------------------------------------------------------------------
+# Telemetry-export benchmark (JSONL vs columnar vs streaming at 1M events)
+# ---------------------------------------------------------------------------
+
+#: Logical trace records in the export comparison (the million-event
+#: regime the columnar path exists for).
+TELEMETRY_EVENTS: int = 1_000_000
+
+#: Records generated per chunk — the export arms regenerate each chunk
+#: and never hold the full record list, so the benchmark itself stays
+#: bounded-memory at any event count.
+TELEMETRY_CHUNK: int = 20_000
+
+#: One completed span rides along per this many records.
+TELEMETRY_SPAN_EVERY: int = 25
+
+#: Machine-independent floor on JSONL-bytes / columnar-bytes.
+TELEMETRY_MIN_SIZE_RATIO: float = 3.0
+
+#: Machine-independent floor on JSONL-wall / columnar-wall for the same
+#: logical lines (both figures timed in the same process, back to back).
+TELEMETRY_MIN_WRITE_SPEEDUP: float = 2.0
+
+#: Ceiling on streaming-aggregation peak memory as a fraction of the
+#: record-replay peak for the same run — the "no full record list" gate.
+TELEMETRY_MAX_MEMORY_RATIO: float = 0.25
+
+#: Kernel events in the streaming-vs-replay memory probe.
+TELEMETRY_MEMORY_EVENTS: int = 200_000
+
+#: Kernel events in the streaming-vs-replay summary equivalence check.
+TELEMETRY_SUMMARY_EVENTS: int = 50_000
+
+_TELEMETRY_CATEGORIES = ("mac.tx", "mac.rx", "net.route", "transport.send",
+                         "session.lease", "env.sense", "disc.announce",
+                         "bench.tick")
+_TELEMETRY_SOURCES = tuple(f"station-{i:02d}" for i in range(32))
+_TELEMETRY_MESSAGES = ("queued", "sent", "delivered", "dropped",
+                       "retry scheduled", "acknowledged", "renewed",
+                       "expired")
+
+
+def _telemetry_chunk(chunk_index: int, size: int):
+    """One deterministic chunk of synthetic records + completed spans.
+
+    The mix mirrors real traces: heavily repeated category/source/message
+    vocabulary (what dictionary encoding exploits) with a thin stream of
+    unique messages (what keeps the string pool honest), and small
+    structured payloads drawn from a bounded value set.
+    """
+    from ..kernel.trace import Span, TraceRecord
+
+    base = chunk_index * size
+    records = []
+    spans = []
+    for k in range(size):
+        i = base + k
+        if i % 50 == 0:
+            message = f"unique event {i}"
+        else:
+            message = _TELEMETRY_MESSAGES[i % 8]
+        records.append(TraceRecord(
+            time=i * 1e-3,
+            category=_TELEMETRY_CATEGORIES[i % 8],
+            source=_TELEMETRY_SOURCES[i % 32],
+            message=message,
+            data={"n": i & 63, "batch": chunk_index},
+        ))
+        if i % TELEMETRY_SPAN_EVERY == 0:
+            span_id = i // TELEMETRY_SPAN_EVERY + 1
+            spans.append(Span(
+                span_id=span_id,
+                parent_id=span_id - 1 if span_id > 1 and span_id % 4 == 0
+                else None,
+                category="bench.step",
+                source=_TELEMETRY_SOURCES[i % 32],
+                start=i * 1e-3,
+                end=i * 1e-3 + 5e-4,
+                status="ok"))
+    return records, spans
+
+
+def _time_export(writer_factory: Callable[[], Any], events: int,
+                 chunk: int) -> Dict[str, Any]:
+    """Feed the synthetic workload through one writer, timing only the
+    writer calls (chunk generation is identical across formats and runs
+    untimed, so the figure isolates export cost)."""
+    snapshot = {"time": events * 1e-3,
+                "counters": {"bench.records": float(events)},
+                "gauges": {}, "latencies": {}, "probes": {}}
+    writer = writer_factory()
+    wall = 0.0
+    chunks = max(1, events // chunk)
+    for chunk_index in range(chunks):
+        records, spans = _telemetry_chunk(chunk_index, chunk)
+        t0 = time.perf_counter()
+        for record in records:
+            writer.write_record(record)
+        for span in spans:
+            writer.write_span(span)
+        wall += time.perf_counter() - t0
+    t0 = time.perf_counter()
+    writer.write_metrics(snapshot)
+    writer.close()
+    wall += time.perf_counter() - t0
+    return {"wall_s": wall, "bytes": writer.path.stat().st_size,
+            "lines": writer.lines}
+
+
+def _telemetry_chain(n_events: int, trace_mode: str, attach: bool):
+    """A seeded kernel run emitting records/issues/spans every event —
+    the live-simulation side of the streaming comparisons."""
+    from ..telemetry.streaming import StreamingAggregator
+
+    kwargs = {} if trace_mode == "head" else {"trace_mode": trace_mode}
+    sim = Simulator(seed=11, trace=True, **kwargs)
+    aggregator = (StreamingAggregator(user_sources=("bench-user",))
+                  .attach(sim) if attach else None)
+    counter = [0]
+
+    def tick() -> None:
+        counter[0] += 1
+        i = counter[0]
+        sim.trace("bench.tick", "bench", "tick", n=i & 63)
+        if i % 100 == 0:
+            sim.issue("issue.session", "bench-user", "renewal stalled", n=i)
+        if i % TELEMETRY_SPAN_EVERY == 0:
+            span = sim.span_begin("bench.step", "bench")
+            sim.span_end(span)
+        if i < n_events:
+            sim.schedule_bound(0.001, tick)
+
+    sim.schedule_bound(0.0, tick)
+    sim.run()
+    return sim, aggregator
+
+
+def _peak_memory(fn: Callable[[], Any]) -> int:
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def bench_telemetry(events: int = TELEMETRY_EVENTS,
+                    chunk: int = TELEMETRY_CHUNK) -> Dict[str, Any]:
+    """JSONL vs columnar export cost plus streaming-aggregation bounds.
+
+    Four arms:
+
+    * **export**: the same ``events`` synthetic records (+ spans + one
+      metrics snapshot) through ``JsonlWriter`` and ``ColumnarWriter``,
+      chunked so neither the benchmark nor the writers ever hold the
+      full record list; reports bytes-on-disk and writer-only wall time.
+    * **summary equivalence**: twin seeded kernel runs — one stored and
+      replayed, one ``stream``-mode folded by a
+      ``StreamingAggregator`` — must produce byte-identical
+      ``telemetry_summary`` dicts.
+    * **memory**: the same run traced in ``head`` mode (stores every
+      record) vs ``stream`` mode (stores nothing), peak traced memory
+      compared; streaming must stay under
+      :data:`TELEMETRY_MAX_MEMORY_RATIO` of replay.
+    * **disabled path**: the bound timer chain with tracing off, the
+      figure gated within :data:`TRACE_DISABLED_TOLERANCE` of the
+      committed kernel baseline — subscriber/hook plumbing must stay
+      free for sweeps that never trace.
+    """
+    import tempfile
+
+    from ..telemetry.columnar import ColumnarWriter
+    from ..telemetry.jsonl import JsonlWriter
+    from ..telemetry.summary import telemetry_summary
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = pathlib.Path(tmp)
+        jsonl = _time_export(
+            lambda: JsonlWriter(tmp_path / "bench.jsonl"), events, chunk)
+        columnar = _time_export(
+            lambda: ColumnarWriter(tmp_path / "bench.npz"), events, chunk)
+
+    replay_sim, _ = _telemetry_chain(TELEMETRY_SUMMARY_EVENTS, "head", False)
+    stream_sim, aggregator = _telemetry_chain(
+        TELEMETRY_SUMMARY_EVENTS, "stream", True)
+    replay_summary = telemetry_summary(replay_sim,
+                                       user_sources=("bench-user",))
+    stream_summary = telemetry_summary(stream_sim, stream=aggregator)
+    summary_identical = (
+        json.dumps(replay_summary, sort_keys=True, default=repr)
+        == json.dumps(stream_summary, sort_keys=True, default=repr))
+    stream_stored_records = len(stream_sim.tracer.records)
+    stream_stored_spans = len(stream_sim.tracer.spans)
+
+    replay_peak = _peak_memory(
+        lambda: _telemetry_chain(TELEMETRY_MEMORY_EVENTS, "head", False))
+    stream_peak = _peak_memory(
+        lambda: _telemetry_chain(TELEMETRY_MEMORY_EVENTS, "stream", True))
+
+    return {
+        "name": "telemetry",
+        "events": events,
+        "spans": events // TELEMETRY_SPAN_EVERY,
+        "jsonl_wall_s": jsonl["wall_s"],
+        "columnar_wall_s": columnar["wall_s"],
+        "write_speedup": (jsonl["wall_s"] / columnar["wall_s"]
+                          if columnar["wall_s"] else 0.0),
+        "jsonl_bytes": jsonl["bytes"],
+        "columnar_bytes": columnar["bytes"],
+        "size_ratio": (jsonl["bytes"] / columnar["bytes"]
+                       if columnar["bytes"] else 0.0),
+        "lines_identical": jsonl["lines"] == columnar["lines"],
+        "summary_events": TELEMETRY_SUMMARY_EVENTS,
+        "summary_identical": summary_identical,
+        "stream_stored_records": stream_stored_records,
+        "stream_stored_spans": stream_stored_spans,
+        "memory_events": TELEMETRY_MEMORY_EVENTS,
+        "replay_peak_bytes": replay_peak,
+        "stream_peak_bytes": stream_peak,
+        "stream_memory_ratio": (stream_peak / replay_peak
+                                if replay_peak else 0.0),
+        "events_per_sec_disabled": _events_per_sec(_timer_chain_bound, 3),
+        "source": "in-process",
+    }
+
+
+def check_telemetry_regression(current: Dict[str, Any],
+                               baseline: Optional[Dict[str, Any]],
+                               kernel_baseline: Optional[Dict[str, Any]]
+                               = None) -> List[str]:
+    """Gate the telemetry benchmark.
+
+    Machine-independent checks always run: streaming summaries must be
+    byte-identical to replay, ``stream`` mode must store nothing, the
+    columnar file must be :data:`TELEMETRY_MIN_SIZE_RATIO` smaller and
+    :data:`TELEMETRY_MIN_WRITE_SPEEDUP` faster to write than JSONL, and
+    streaming peak memory must stay under
+    :data:`TELEMETRY_MAX_MEMORY_RATIO` of replay.  The tracing-disabled
+    kernel path is gated within :data:`TRACE_DISABLED_TOLERANCE` of the
+    committed *kernel* baseline (the PR 2 contract); a like-sourced
+    telemetry baseline additionally floors the size ratio, which is
+    near-deterministic for the fixed synthetic workload.
+    """
+    failures = []
+    if not current.get("summary_identical", False):
+        failures.append(
+            "summary_identical: the streaming aggregator's summary "
+            "diverged from the record-replay summary")
+    if current.get("stream_stored_records") or \
+            current.get("stream_stored_spans"):
+        failures.append(
+            f"stream mode retained state: "
+            f"{current.get('stream_stored_records')} records / "
+            f"{current.get('stream_stored_spans')} spans stored — the "
+            f"tracer must hold nothing in stream mode")
+    size_ratio = current.get("size_ratio") or 0.0
+    if size_ratio < TELEMETRY_MIN_SIZE_RATIO:
+        failures.append(
+            f"size_ratio: columnar is only {size_ratio:.1f}x smaller than "
+            f"JSONL, below the {TELEMETRY_MIN_SIZE_RATIO:.0f}x floor")
+    speedup = current.get("write_speedup") or 0.0
+    if speedup < TELEMETRY_MIN_WRITE_SPEEDUP:
+        failures.append(
+            f"write_speedup: columnar export is only {speedup:.1f}x faster "
+            f"than JSONL, below the {TELEMETRY_MIN_WRITE_SPEEDUP:.0f}x floor")
+    if not current.get("lines_identical", False):
+        failures.append(
+            "lines_identical: the two exporters wrote different logical "
+            "line counts for the same workload")
+    memory_ratio = current.get("stream_memory_ratio")
+    if memory_ratio is None or memory_ratio > TELEMETRY_MAX_MEMORY_RATIO:
+        failures.append(
+            f"stream_memory_ratio: {memory_ratio} above the "
+            f"{TELEMETRY_MAX_MEMORY_RATIO:.2f} ceiling — streaming "
+            f"aggregation is no longer bounded-memory")
+    disabled = current.get("events_per_sec_disabled") or 0.0
+    if kernel_baseline is not None and \
+            kernel_baseline.get("source") == current.get("source") and \
+            kernel_baseline.get("events_per_sec"):
+        floor = kernel_baseline["events_per_sec"] * \
+            (1.0 - TRACE_DISABLED_TOLERANCE)
+        if disabled < floor:
+            failures.append(
+                f"events_per_sec_disabled: {disabled:,.0f} is more than "
+                f"{TRACE_DISABLED_TOLERANCE:.0%} below the committed kernel "
+                f"baseline {kernel_baseline['events_per_sec']:,.0f} "
+                f"(floor {floor:,.0f}) — telemetry hooks must stay free "
+                f"when unused")
+    if baseline is not None and \
+            baseline.get("source") == current.get("source"):
+        base_ratio = baseline.get("size_ratio")
+        if base_ratio:
+            floor = base_ratio * 0.9
+            if size_ratio < floor:
+                failures.append(
+                    f"size_ratio: {size_ratio:.1f}x is below 90% of the "
+                    f"committed baseline {base_ratio:.1f}x "
+                    f"(floor {floor:.1f}x) — the columnar encoding got "
+                    f"fatter")
+    return failures
+
+
+# ---------------------------------------------------------------------------
 # JSON persistence and the regression gate
 # ---------------------------------------------------------------------------
 

@@ -51,7 +51,9 @@ class Simulator:
             interference sweeps turn it off).
         trace_capacity: optional bound on stored trace records.
         trace_mode: bounded-buffer policy when ``trace_capacity`` is set —
-            ``"head"`` drops the newest records, ``"ring"`` the oldest.
+            ``"head"`` drops the newest records, ``"ring"`` the oldest;
+            ``"stream"`` retains nothing and only feeds tracer subscribers
+            (pair with a streaming aggregator or live exporter).
         batching: whether :meth:`batch_class` returns the struct-of-arrays
             batched engine (the default) or a legacy per-event shim — the
             byte-identical oracle path the equivalence tests compare

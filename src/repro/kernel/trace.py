@@ -34,8 +34,12 @@ from .errors import ConfigurationError
 #: ``head`` (default) drops the *newest* records once full — preserving the
 #: warm-up behaviour experiments usually care about; ``ring`` drops the
 #: *oldest*, keeping a sliding window of the most recent records.  Both
-#: count every drop.
-TRACER_MODES: Tuple[str, ...] = ("head", "ring")
+#: count every drop.  ``stream`` stores nothing at all: every record and
+#: span is dispatched to subscribers/hooks and then discarded, giving
+#: O(1) memory for million-event runs consumed by
+#: :class:`repro.telemetry.streaming.StreamingAggregator` or a live
+#: exporter.
+TRACER_MODES: Tuple[str, ...] = ("head", "ring", "stream")
 
 
 @dataclass(frozen=True)
@@ -129,6 +133,7 @@ NULL_SPAN = _NullSpan()
 
 _DEFAULT_SUBSCRIBERS: List[Tuple[str, Callable[[TraceRecord], None]]] = []
 _DEFAULT_SPAN_HOOKS: List[Callable[[Span], None]] = []
+_DEFAULT_SPAN_BEGIN_HOOKS: List[Callable[[Span], None]] = []
 
 
 def add_default_subscriber(prefix: str,
@@ -164,6 +169,24 @@ def add_default_span_hook(callback: Callable[[Span], None],
     return remove
 
 
+def add_default_span_begin_hook(callback: Callable[[Span], None],
+                                ) -> Callable[[], None]:
+    """Call ``callback(span)`` on span *begin* in every *future* Tracer.
+
+    Begin hooks let streaming consumers observe spans that never close
+    (leaks, crashes) without the tracer retaining the span list.
+    """
+    _DEFAULT_SPAN_BEGIN_HOOKS.append(callback)
+
+    def remove() -> None:
+        try:
+            _DEFAULT_SPAN_BEGIN_HOOKS.remove(callback)
+        except ValueError:
+            pass
+
+    return remove
+
+
 class Tracer:
     """Collects trace records and spans; dispatches to live subscribers.
 
@@ -172,7 +195,8 @@ class Tracer:
         capacity: optional bound on stored *records* (spans are unbounded;
             heavy sweeps run with tracing disabled).
         mode: bounded-buffer policy, ``"head"`` (drop newest, the default)
-            or ``"ring"`` (drop oldest).
+            or ``"ring"`` (drop oldest); ``"stream"`` retains nothing and
+            only dispatches to subscribers and span hooks.
     """
 
     def __init__(self, enabled: bool = True, capacity: Optional[int] = None,
@@ -180,9 +204,14 @@ class Tracer:
         if mode not in TRACER_MODES:
             raise ConfigurationError(
                 f"unknown tracer mode {mode!r}; choose from {TRACER_MODES}")
+        if mode == "stream" and capacity is not None:
+            raise ConfigurationError(
+                "tracer mode 'stream' stores nothing; capacity is meaningless"
+                " — drop the capacity or use 'head'/'ring'")
         self.enabled = enabled
         self.capacity = capacity
         self.mode = mode
+        self._retain = mode != "stream"
         if mode == "ring" and capacity is not None:
             # deque(maxlen=...) evicts the oldest entry on append-when-full
             # in O(1); emit() counts the eviction.
@@ -192,6 +221,8 @@ class Tracer:
         self._subscribers: List[tuple] = list(_DEFAULT_SUBSCRIBERS)
         self._span_hooks: List[Callable[[Span], None]] = \
             list(_DEFAULT_SPAN_HOOKS)
+        self._span_begin_hooks: List[Callable[[Span], None]] = \
+            list(_DEFAULT_SPAN_BEGIN_HOOKS)
         self.dropped = 0
         self.spans: List[Span] = []
         self._span_seq = itertools.count(1)
@@ -205,10 +236,14 @@ class Tracer:
         When a ``capacity`` is set the log behaves as a bounded buffer:
         ``head`` mode drops the *newest* records once full, ``ring`` mode
         drops the *oldest* — both count drops so nothing is silently lost.
+        ``stream`` mode stores nothing (and counts nothing as dropped):
+        subscribers are the only consumers.
         """
         if not self.enabled:
             return
-        if self.capacity is not None and len(self.records) >= self.capacity:
+        if not self._retain:
+            pass
+        elif self.capacity is not None and len(self.records) >= self.capacity:
             self.dropped += 1
             if self.mode == "ring":
                 self.records.append(record)  # deque evicts the oldest
@@ -247,10 +282,18 @@ class Tracer:
     # ------------------------------------------------------------------
     def begin_span(self, time: float, category: str, source: str,
                    parent_id: Optional[int] = None, **data: Any) -> Span:
-        """Open a new span starting at ``time`` under ``parent_id``."""
+        """Open a new span starting at ``time`` under ``parent_id``.
+
+        In ``stream`` mode the span is handed to begin hooks but not
+        retained; causal links still work because the caller holds the
+        span object until :meth:`end_span`.
+        """
         span = Span(next(self._span_seq), parent_id, category, source, time,
                     data=data)
-        self.spans.append(span)
+        if self._retain:
+            self.spans.append(span)
+        for hook in self._span_begin_hooks:
+            hook(span)
         return span
 
     def end_span(self, span: Span, time: float, status: str = "ok") -> None:
@@ -267,6 +310,19 @@ class Tracer:
         def remove() -> None:
             try:
                 self._span_hooks.remove(callback)
+            except ValueError:
+                pass
+
+        return remove
+
+    def add_span_begin_hook(self, callback: Callable[[Span], None],
+                            ) -> Callable[[], None]:
+        """Call ``callback(span)`` whenever a span begins; returns a remover."""
+        self._span_begin_hooks.append(callback)
+
+        def remove() -> None:
+            try:
+                self._span_begin_hooks.remove(callback)
             except ValueError:
                 pass
 

@@ -1,14 +1,25 @@
-"""Telemetry: JSONL export, per-run summaries, and per-layer reports.
+"""Telemetry: JSONL/columnar export, streaming aggregation, and reports.
 
 This package is the consumer side of the kernel's tracing and the metrics
 registry: :mod:`repro.telemetry.jsonl` streams records/spans/metric
-snapshots to disk in a stable line format, :mod:`repro.telemetry.summary`
-condenses a finished simulation into a small picklable dict (what parallel
-sweeps ship across the fork boundary), and :mod:`repro.telemetry.report`
-renders the per-LPC-layer run report the paper's classification story
-calls for.
+snapshots to disk in a stable line format,
+:mod:`repro.telemetry.columnar` packs the same logical lines into a
+dictionary-encoded struct-of-arrays ``.npz`` (Parquet behind the optional
+pyarrow extra) for million-event runs, :mod:`repro.telemetry.streaming`
+folds live tracer output into bounded-memory aggregates,
+:mod:`repro.telemetry.summary` condenses a finished simulation into a
+small picklable dict (what parallel sweeps ship across the fork
+boundary), and :mod:`repro.telemetry.report` renders the per-LPC-layer
+run report the paper's classification story calls for — from either the
+stored trace or a streaming aggregator, byte-identically.
 """
 
+from .columnar import (
+    ColumnarWriter,
+    read_columnar,
+    read_telemetry,
+    write_run_columnar,
+)
 from .jsonl import (
     JsonlWriter,
     read_jsonl,
@@ -16,15 +27,24 @@ from .jsonl import (
     span_lines,
     write_run_jsonl,
 )
-from .report import layer_report
-from .summary import telemetry_summary
+from .report import layer_report, layer_report_data
+from .streaming import StreamingAggregator, span_duration_histogram
+from .summary import aggregate_telemetry, telemetry_summary
 
 __all__ = [
+    "ColumnarWriter",
     "JsonlWriter",
+    "StreamingAggregator",
+    "aggregate_telemetry",
     "layer_report",
+    "layer_report_data",
+    "read_columnar",
     "read_jsonl",
+    "read_telemetry",
     "span_ancestry_categories",
+    "span_duration_histogram",
     "span_lines",
     "telemetry_summary",
+    "write_run_columnar",
     "write_run_jsonl",
 ]

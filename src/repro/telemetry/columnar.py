@@ -1,0 +1,511 @@
+"""Columnar telemetry export: packed struct-of-arrays for million-event runs.
+
+The JSONL exporter (:mod:`repro.telemetry.jsonl`) writes one object per
+line — friendly to `jq` and streaming tails, but at 10^6 records the
+category/source/message strings are repeated verbatim on every line and
+the file balloons.  This module packs the same *logical* lines into a
+struct-of-arrays NumPy ``.npz``:
+
+* every string column is **dictionary-encoded** — unique strings live
+  once in a shared pool (concatenated UTF-8 bytes + a length array) and
+  the column stores integer codes;
+* code/id arrays use the **smallest unsigned dtype** that fits (uint8
+  when the pool has < 256 entries), times are float64;
+* structured ``data`` payloads are serialised to canonical JSON strings
+  (sorted keys, ``repr`` fallback — exactly the JSONL rules) and
+  dictionary-encoded like any other string, so repetitive payloads cost
+  one pool entry.
+
+``read_columnar`` reconstructs the identical logical dicts that
+``read_jsonl`` returns (records in emit order, then spans, then metrics
+snapshots), so every downstream consumer can take either file.  The same
+logical schema is available as an Arrow/Parquet file when ``pyarrow`` is
+installed — an optional extra; this repo's environment works without it.
+
+The ``.npz`` container is byte-deterministic: NumPy stamps zip entries
+with the fixed DOS epoch, so the same seeded run produces a
+byte-identical file — the property the figures pipeline and the cache
+rely on for JSONL, preserved here.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..kernel.errors import ConfigurationError
+from ..kernel.scheduler import Simulator
+from ..kernel.trace import Span, TraceRecord
+
+try:  # pragma: no cover - exercised only where pyarrow is installed
+    import pyarrow as _pa
+    import pyarrow.parquet as _pq
+    HAVE_PYARROW = True
+except ImportError:  # pragma: no cover - the baked image has no pyarrow
+    _pa = None
+    _pq = None
+    HAVE_PYARROW = False
+
+#: Recognised columnar backends.  ``npz`` is always available; ``parquet``
+#: needs the optional ``pyarrow`` extra.
+COLUMNAR_BACKENDS: Tuple[str, ...] = ("npz", "parquet")
+
+#: Schema version embedded in every file's ``meta`` block.
+SCHEMA_VERSION = 1
+
+#: Sentinel stored in the ``span_parent`` column for root spans.
+NO_PARENT = -1
+
+
+def _default(obj: Any) -> str:
+    return repr(obj)
+
+
+def _dumps(payload: Any) -> str:
+    """Canonical JSON — the same rules the JSONL exporter uses."""
+    return json.dumps(payload, sort_keys=True, default=_default)
+
+
+def _smallest_uint(max_value: int) -> Any:
+    """The narrowest unsigned dtype that can hold ``max_value``."""
+    if max_value < 2 ** 8:
+        return np.uint8
+    if max_value < 2 ** 16:
+        return np.uint16
+    if max_value < 2 ** 32:
+        return np.uint32
+    return np.uint64
+
+
+def _smallest_int(min_value: int, max_value: int) -> Any:
+    """The narrowest signed dtype covering ``[min_value, max_value]``."""
+    for dtype in (np.int8, np.int16, np.int32):
+        info = np.iinfo(dtype)
+        if info.min <= min_value and max_value <= info.max:
+            return dtype
+    return np.int64
+
+
+class _StringPool:
+    """Interns strings; serialises to concatenated UTF-8 + lengths."""
+
+    def __init__(self) -> None:
+        self._index: Dict[str, int] = {}
+        self._strings: List[str] = []
+
+    def intern(self, value: str) -> int:
+        code = self._index.get(value)
+        if code is None:
+            code = len(self._strings)
+            self._index[value] = code
+            self._strings.append(value)
+        return code
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        encoded = [s.encode("utf-8") for s in self._strings]
+        blob = b"".join(encoded)
+        pool_bytes = np.frombuffer(blob, dtype=np.uint8).copy()
+        max_len = max((len(b) for b in encoded), default=0)
+        lengths = np.array([len(b) for b in encoded],
+                           dtype=_smallest_uint(max_len))
+        return pool_bytes, lengths
+
+
+def _pool_strings(pool_bytes: np.ndarray, pool_len: np.ndarray) -> List[str]:
+    blob = pool_bytes.tobytes()
+    strings: List[str] = []
+    offset = 0
+    for length in pool_len.tolist():
+        strings.append(blob[offset:offset + length].decode("utf-8"))
+        offset += length
+    return strings
+
+
+class ColumnarWriter:
+    """Buffers telemetry lines and packs them into a columnar file.
+
+    Drop-in for :class:`~repro.telemetry.jsonl.JsonlWriter` — same
+    ``write_record`` / ``write_span`` / ``write_metrics`` / ``flush`` /
+    ``close`` surface and context-manager protocol — but the write is a
+    *repack*: rows accumulate in compact column builders (integer codes
+    and float arrays, never the record objects) and :meth:`flush`
+    rewrites the whole container.  Crash-resilience therefore comes from
+    explicit flushes, not per-line appends; the CLI flushes on close.
+
+    Args:
+        path: output file (parents created).
+        backend: ``"npz"`` (default) or ``"parquet"`` (needs pyarrow).
+        metrics: optional metrics registry (anything with ``counter``);
+            records ``telemetry.export.<backend>.*`` counters at close.
+        compress: zip-deflate the npz (smaller, slower; off by default so
+            export speed is bounded by packing, not compression).
+    """
+
+    def __init__(self, path: pathlib.Path, backend: str = "npz",
+                 metrics: Any = None, compress: bool = False) -> None:
+        if backend not in COLUMNAR_BACKENDS:
+            raise ConfigurationError(
+                f"unknown columnar backend {backend!r}; "
+                f"choose from {COLUMNAR_BACKENDS}")
+        if backend == "parquet" and not HAVE_PYARROW:
+            raise ConfigurationError(
+                "columnar backend 'parquet' needs the optional pyarrow "
+                "extra, which is not installed — use the 'npz' backend")
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.format = backend
+        self.compress = compress
+        self.lines = 0
+        self.bytes = 0
+        self.records_written = 0
+        self.spans_written = 0
+        self._metrics = metrics
+        self._accounted = False
+        self._closed = False
+        self._pool = _StringPool()
+        # Payload-dict -> pool-code memo: repetitive trace payloads skip
+        # the (dominant) canonical-JSON serialisation entirely.  Bounded
+        # so hostile all-unique payloads cannot grow it past the pool.
+        self._payload_memo: Dict[Any, int] = {}
+        # Records: struct-of-arrays builders (plain floats/ints only).
+        self._rec_time: List[float] = []
+        self._rec_category: List[int] = []
+        self._rec_source: List[int] = []
+        self._rec_message: List[int] = []
+        self._rec_data: List[int] = []
+        # Spans.
+        self._span_id: List[int] = []
+        self._span_parent: List[int] = []
+        self._span_category: List[int] = []
+        self._span_source: List[int] = []
+        self._span_status: List[int] = []
+        self._span_start: List[float] = []
+        self._span_end: List[float] = []
+        self._span_data: List[int] = []
+        # Metrics snapshots (whole snapshot as one canonical JSON string).
+        self._met_data: List[int] = []
+
+    #: Cap on distinct payload shapes memoized before falling back to
+    #: serialise-every-time (correctness is unaffected either way).
+    _PAYLOAD_MEMO_MAX = 1 << 16
+
+    def _intern_payload(self, data: Dict[str, Any]) -> int:
+        try:
+            # The value's class rides in the key so 1, 1.0 and True (equal
+            # and same-hash in Python, different in JSON) never collide.
+            key = tuple((k, v.__class__, v) for k, v in sorted(data.items()))
+            code = self._payload_memo.get(key)
+        except TypeError:
+            # Unsortable keys or unhashable values: no memo, just encode.
+            return self._pool.intern(_dumps(data))
+        if code is None:
+            code = self._pool.intern(_dumps(data))
+            if len(self._payload_memo) < self._PAYLOAD_MEMO_MAX:
+                self._payload_memo[key] = code
+        return code
+
+    # ------------------------------------------------------------------
+    # Line intake — mirrors JsonlWriter
+    # ------------------------------------------------------------------
+    def write_record(self, record: TraceRecord) -> None:
+        self._rec_time.append(record.time)
+        self._rec_category.append(self._pool.intern(record.category))
+        self._rec_source.append(self._pool.intern(record.source))
+        self._rec_message.append(self._pool.intern(record.message))
+        self._rec_data.append(self._intern_payload(record.data))
+        self.lines += 1
+        self.records_written += 1
+
+    def write_span(self, span: Span) -> None:
+        self._span_id.append(span.span_id)
+        self._span_parent.append(
+            NO_PARENT if span.parent_id is None else span.parent_id)
+        self._span_category.append(self._pool.intern(span.category))
+        self._span_source.append(self._pool.intern(span.source))
+        self._span_status.append(self._pool.intern(span.status))
+        self._span_start.append(span.start)
+        self._span_end.append(
+            float("nan") if span.end is None else span.end)
+        self._span_data.append(self._intern_payload(span.data))
+        self.lines += 1
+        self.spans_written += 1
+
+    def write_metrics(self, snapshot: Dict[str, Any]) -> None:
+        self._met_data.append(self._pool.intern(_dumps(snapshot)))
+        self.lines += 1
+
+    # ------------------------------------------------------------------
+    # Packing
+    # ------------------------------------------------------------------
+    def _columns(self) -> Dict[str, np.ndarray]:
+        pool_bytes, pool_len = self._pool.arrays()
+        code_dtype = _smallest_uint(max(len(self._pool) - 1, 0))
+        max_span_id = max(self._span_id, default=0)
+        parent_min = min(self._span_parent, default=NO_PARENT)
+        parent_max = max(self._span_parent, default=0)
+        meta = {
+            "format": "repro-telemetry-columnar",
+            "version": SCHEMA_VERSION,
+            "counts": {
+                "records": self.records_written,
+                "spans": self.spans_written,
+                "metrics": len(self._met_data),
+            },
+        }
+        meta_bytes = np.frombuffer(
+            _dumps(meta).encode("utf-8"), dtype=np.uint8).copy()
+        return {
+            "meta": meta_bytes,
+            "pool_bytes": pool_bytes,
+            "pool_len": pool_len,
+            "rec_time": np.array(self._rec_time, dtype=np.float64),
+            "rec_category": np.array(self._rec_category, dtype=code_dtype),
+            "rec_source": np.array(self._rec_source, dtype=code_dtype),
+            "rec_message": np.array(self._rec_message, dtype=code_dtype),
+            "rec_data": np.array(self._rec_data, dtype=code_dtype),
+            "span_id": np.array(self._span_id,
+                                dtype=_smallest_uint(max_span_id)),
+            "span_parent": np.array(
+                self._span_parent,
+                dtype=_smallest_int(parent_min, parent_max)),
+            "span_category": np.array(self._span_category, dtype=code_dtype),
+            "span_source": np.array(self._span_source, dtype=code_dtype),
+            "span_status": np.array(self._span_status, dtype=code_dtype),
+            "span_start": np.array(self._span_start, dtype=np.float64),
+            "span_end": np.array(self._span_end, dtype=np.float64),
+            "span_data": np.array(self._span_data, dtype=code_dtype),
+            "met_data": np.array(self._met_data, dtype=code_dtype),
+        }
+
+    def _write_npz(self, columns: Dict[str, np.ndarray]) -> None:
+        buffer = io.BytesIO()
+        if self.compress:
+            np.savez_compressed(buffer, **columns)
+        else:
+            np.savez(buffer, **columns)
+        self.path.write_bytes(buffer.getvalue())
+
+    def _write_parquet(self, columns: Dict[str, np.ndarray]) -> None:
+        # One unified table, one row per logical line, unused cells null —
+        # the same logical schema as the JSONL lines and the npz arrays.
+        strings = _pool_strings(columns["pool_bytes"], columns["pool_len"])
+        rows: Dict[str, List[Any]] = {
+            "type": [], "time": [], "category": [], "source": [],
+            "message": [], "data": [], "span_id": [], "parent_id": [],
+            "start": [], "end": [], "status": [],
+        }
+        for i in range(len(columns["rec_time"])):
+            rows["type"].append("record")
+            rows["time"].append(float(columns["rec_time"][i]))
+            rows["category"].append(strings[int(columns["rec_category"][i])])
+            rows["source"].append(strings[int(columns["rec_source"][i])])
+            rows["message"].append(strings[int(columns["rec_message"][i])])
+            rows["data"].append(strings[int(columns["rec_data"][i])])
+            rows["span_id"].append(None)
+            rows["parent_id"].append(None)
+            rows["start"].append(None)
+            rows["end"].append(None)
+            rows["status"].append(None)
+        for i in range(len(columns["span_id"])):
+            parent = int(columns["span_parent"][i])
+            end = float(columns["span_end"][i])
+            rows["type"].append("span")
+            rows["time"].append(None)
+            rows["category"].append(strings[int(columns["span_category"][i])])
+            rows["source"].append(strings[int(columns["span_source"][i])])
+            rows["message"].append(None)
+            rows["data"].append(strings[int(columns["span_data"][i])])
+            rows["span_id"].append(int(columns["span_id"][i]))
+            rows["parent_id"].append(None if parent == NO_PARENT else parent)
+            rows["start"].append(float(columns["span_start"][i]))
+            rows["end"].append(None if np.isnan(end) else end)
+            rows["status"].append(strings[int(columns["span_status"][i])])
+        for code in columns["met_data"].tolist():
+            rows["type"].append("metrics")
+            for key in ("time", "category", "source", "message", "span_id",
+                        "parent_id", "start", "end", "status"):
+                rows[key].append(None)
+            rows["data"].append(strings[int(code)])
+        table = _pa.table(rows)
+        table = table.replace_schema_metadata(
+            {"repro_meta": columns["meta"].tobytes().decode("utf-8")})
+        _pq.write_table(table, self.path)
+
+    def flush(self) -> None:
+        """Repack every buffered line and rewrite the container."""
+        if self._closed:
+            return
+        columns = self._columns()
+        if self.format == "parquet":
+            self._write_parquet(columns)
+        else:
+            self._write_npz(columns)
+        self.bytes = self.path.stat().st_size
+
+    def close(self) -> None:
+        if not self._closed:
+            self.flush()
+            self._closed = True
+        self._account()
+
+    def _account(self) -> None:
+        if self._metrics is None or self._accounted:
+            return
+        self._accounted = True
+        prefix = f"telemetry.export.{self.format}"
+        self._metrics.counter(f"{prefix}.records").add(self.records_written)
+        self._metrics.counter(f"{prefix}.spans").add(self.spans_written)
+        self._metrics.counter(f"{prefix}.bytes").add(self.bytes)
+
+    def __enter__(self) -> "ColumnarWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def write_run_columnar(path: pathlib.Path, sim: Simulator,
+                       prefix: str = "",
+                       include_metrics: bool = True,
+                       backend: Optional[str] = None,
+                       compress: bool = False,
+                       account: bool = False) -> Dict[str, int]:
+    """Export a finished run's stored telemetry to a columnar ``path``.
+
+    The columnar twin of
+    :func:`~repro.telemetry.jsonl.write_run_jsonl`: same filtering by
+    category ``prefix``, same trailing metrics snapshot, same counts
+    dict, same opt-in ``account`` semantics for the
+    ``telemetry.export.*`` counters.  ``backend`` defaults by suffix
+    (``.parquet`` selects parquet, anything else npz).
+    """
+    if backend is None:
+        backend = "parquet" if str(path).endswith(".parquet") else "npz"
+    counts = {"records": 0, "spans": 0, "metrics": 0}
+    registry = sim.metrics if account else None
+    with ColumnarWriter(path, backend=backend, metrics=registry,
+                        compress=compress) as writer:
+        for record in sim.tracer.records:
+            if not prefix or record.matches(prefix):
+                writer.write_record(record)
+                counts["records"] += 1
+        for span in sim.tracer.spans:
+            if not prefix or span.matches(prefix):
+                writer.write_span(span)
+                counts["spans"] += 1
+        if include_metrics:
+            writer.write_metrics(sim.metrics.snapshot())
+            counts["metrics"] = 1
+    return counts
+
+
+def _read_npz(path: pathlib.Path) -> List[Dict[str, Any]]:
+    with np.load(path) as archive:
+        columns = {key: archive[key] for key in archive.files}
+    strings = _pool_strings(columns["pool_bytes"], columns["pool_len"])
+    lines: List[Dict[str, Any]] = []
+    rec_time = columns["rec_time"].tolist()
+    rec_category = columns["rec_category"].tolist()
+    rec_source = columns["rec_source"].tolist()
+    rec_message = columns["rec_message"].tolist()
+    rec_data = columns["rec_data"].tolist()
+    for i in range(len(rec_time)):
+        lines.append({
+            "type": "record",
+            "time": rec_time[i],
+            "category": strings[rec_category[i]],
+            "source": strings[rec_source[i]],
+            "message": strings[rec_message[i]],
+            "data": json.loads(strings[rec_data[i]]),
+        })
+    span_id = columns["span_id"].tolist()
+    span_parent = columns["span_parent"].tolist()
+    span_category = columns["span_category"].tolist()
+    span_source = columns["span_source"].tolist()
+    span_status = columns["span_status"].tolist()
+    span_start = columns["span_start"].tolist()
+    span_end = columns["span_end"].tolist()
+    span_data = columns["span_data"].tolist()
+    for i in range(len(span_id)):
+        end = span_end[i]
+        lines.append({
+            "type": "span",
+            "span_id": span_id[i],
+            "parent_id": None if span_parent[i] == NO_PARENT
+            else span_parent[i],
+            "category": strings[span_category[i]],
+            "source": strings[span_source[i]],
+            "start": span_start[i],
+            "end": None if np.isnan(end) else end,
+            "status": strings[span_status[i]],
+            "data": json.loads(strings[span_data[i]]),
+        })
+    for code in columns["met_data"].tolist():
+        lines.append({"type": "metrics", **json.loads(strings[code])})
+    return lines
+
+
+def _read_parquet(path: pathlib.Path) -> List[Dict[str, Any]]:
+    # pragma: no cover - needs the optional pyarrow extra
+    if not HAVE_PYARROW:
+        raise ConfigurationError(
+            f"{path}: reading parquet needs the optional pyarrow extra, "
+            "which is not installed")
+    table = _pq.read_table(path)
+    rows = table.to_pylist()
+    lines: List[Dict[str, Any]] = []
+    for row in rows:
+        kind = row["type"]
+        if kind == "record":
+            lines.append({
+                "type": "record",
+                "time": row["time"],
+                "category": row["category"],
+                "source": row["source"],
+                "message": row["message"],
+                "data": json.loads(row["data"]),
+            })
+        elif kind == "span":
+            lines.append({
+                "type": "span",
+                "span_id": row["span_id"],
+                "parent_id": row["parent_id"],
+                "category": row["category"],
+                "source": row["source"],
+                "start": row["start"],
+                "end": row["end"],
+                "status": row["status"],
+                "data": json.loads(row["data"]),
+            })
+        else:
+            lines.append({"type": "metrics", **json.loads(row["data"])})
+    return lines
+
+
+def read_columnar(path: pathlib.Path) -> List[Dict[str, Any]]:
+    """Parse a columnar telemetry file back into logical line dicts.
+
+    Returns the same dicts :func:`~repro.telemetry.jsonl.read_jsonl`
+    yields for the equivalent JSONL export — records in emit order, then
+    spans, then metrics snapshots — so consumers are format-agnostic.
+    """
+    path = pathlib.Path(path)
+    if str(path).endswith(".parquet"):
+        return _read_parquet(path)
+    return _read_npz(path)
+
+
+def read_telemetry(path: pathlib.Path) -> List[Dict[str, Any]]:
+    """Format-sniffing reader: JSONL or columnar by file suffix."""
+    from .jsonl import read_jsonl
+    name = str(path)
+    if name.endswith(".npz") or name.endswith(".parquet"):
+        return read_columnar(path)
+    return read_jsonl(path)

@@ -13,12 +13,18 @@ Keys are sorted and floats are emitted verbatim, so the same seeded run
 produces a byte-identical file.  Payload values that are not JSON types
 (live objects riding in trace ``data``) degrade to ``repr`` instead of
 failing the whole export.
+
+When the writer is handed a metrics registry it records
+``telemetry.export.jsonl.{records,spans,bytes}`` counters at close, so
+export cost is itself observable in the next snapshot (the exported file
+is unaffected — accounting happens after the last line is written).
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import warnings
 from typing import Any, Dict, Iterable, List, Optional
 
 from ..kernel.scheduler import Simulator
@@ -68,30 +74,65 @@ class JsonlWriter:
     The writer is what the CLI's ``--trace-out`` plugs into the kernel's
     default-subscriber hooks: records and spans stream out as they happen,
     so even a crashed run leaves a readable file.
+
+    Args:
+        path: output file (parent directories are created).
+        metrics: optional metrics registry (anything with a
+            ``counter(name)`` method); when given, the writer records
+            ``telemetry.export.jsonl.*`` counters once at :meth:`close`.
     """
 
-    def __init__(self, path: pathlib.Path) -> None:
+    #: format tag used in the ``telemetry.export.<format>.*`` counters.
+    format = "jsonl"
+
+    def __init__(self, path: pathlib.Path, metrics: Any = None) -> None:
         self.path = pathlib.Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("w")
         self.lines = 0
+        self.bytes = 0
+        self.records_written = 0
+        self.spans_written = 0
+        self._metrics = metrics
+        self._accounted = False
 
     def _write(self, payload: Dict[str, Any]) -> None:
-        self._fh.write(_dumps(payload) + "\n")
+        line = _dumps(payload) + "\n"
+        self._fh.write(line)
         self.lines += 1
+        # json.dumps defaults to ensure_ascii, so len(str) == encoded bytes.
+        self.bytes += len(line)
 
     def write_record(self, record: TraceRecord) -> None:
         self._write(record_line(record))
+        self.records_written += 1
 
     def write_span(self, span: Span) -> None:
         self._write(span_line(span))
+        self.spans_written += 1
 
     def write_metrics(self, snapshot: Dict[str, Any]) -> None:
         self._write(metrics_line(snapshot))
 
+    def flush(self) -> None:
+        """Push buffered lines to disk without closing the file."""
+        if not self._fh.closed:
+            self._fh.flush()
+
     def close(self) -> None:
         if not self._fh.closed:
+            self._fh.flush()
             self._fh.close()
+        self._account()
+
+    def _account(self) -> None:
+        if self._metrics is None or self._accounted:
+            return
+        self._accounted = True
+        prefix = f"telemetry.export.{self.format}"
+        self._metrics.counter(f"{prefix}.records").add(self.records_written)
+        self._metrics.counter(f"{prefix}.spans").add(self.spans_written)
+        self._metrics.counter(f"{prefix}.bytes").add(self.bytes)
 
     def __enter__(self) -> "JsonlWriter":
         return self
@@ -102,15 +143,21 @@ class JsonlWriter:
 
 def write_run_jsonl(path: pathlib.Path, sim: Simulator,
                     prefix: str = "",
-                    include_metrics: bool = True) -> Dict[str, int]:
+                    include_metrics: bool = True,
+                    account: bool = False) -> Dict[str, int]:
     """Export a finished run's stored telemetry to ``path``.
 
     Records and spans are filtered by category ``prefix`` (empty = all);
     a final metrics snapshot rides along by default.  Returns counts per
-    line type.
+    line type.  With ``account=True`` the export cost lands in the
+    simulator's ``telemetry.export.jsonl.*`` counters after the snapshot
+    line is written — the file never contains them, but a re-export of
+    the same sim then would, so accounting is opt-in to keep repeated
+    exports byte-identical by default.
     """
     counts = {"records": 0, "spans": 0, "metrics": 0}
-    with JsonlWriter(path) as writer:
+    registry = sim.metrics if account else None
+    with JsonlWriter(path, metrics=registry) as writer:
         for record in sim.tracer.records:
             if not prefix or record.matches(prefix):
                 writer.write_record(record)
@@ -126,13 +173,29 @@ def write_run_jsonl(path: pathlib.Path, sim: Simulator,
 
 
 def read_jsonl(path: pathlib.Path) -> List[Dict[str, Any]]:
-    """Parse a telemetry JSONL file back into a list of dicts."""
-    lines = []
-    with pathlib.Path(path).open() as fh:
-        for raw in fh:
-            raw = raw.strip()
-            if raw:
-                lines.append(json.loads(raw))
+    """Parse a telemetry JSONL file back into a list of dicts.
+
+    A malformed *final* line is tolerated with a :class:`RuntimeWarning`
+    — the classic artifact of a run that crashed mid-write — while a
+    malformed line anywhere else still raises, because that means real
+    corruption rather than truncation.
+    """
+    path = pathlib.Path(path)
+    with path.open() as fh:
+        entries = [raw.strip() for raw in fh]
+    entries = [raw for raw in entries if raw]
+    lines: List[Dict[str, Any]] = []
+    for index, raw in enumerate(entries):
+        try:
+            lines.append(json.loads(raw))
+        except ValueError:
+            if index == len(entries) - 1:
+                warnings.warn(
+                    f"{path}: discarding truncated final line "
+                    f"({len(raw)} bytes) — partial write from an "
+                    "interrupted run", RuntimeWarning, stacklevel=2)
+                break
+            raise
     return lines
 
 

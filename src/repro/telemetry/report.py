@@ -7,18 +7,31 @@ for a *live* run: every ``issue.*`` record is routed through the existing
 five-layer, two-column grid of Figure 1, followed by the health signals
 the metrics registry collected.
 
+The report accepts two sources and renders byte-identically from either:
+a finished :class:`~repro.kernel.scheduler.Simulator` (the classic
+record-replay path) or a
+:class:`~repro.telemetry.streaming.StreamingAggregator` that folded the
+run incrementally — which is the only option when the tracer ran in
+``stream`` mode and stored nothing.
+
 Output is deterministic: same seed, same report, byte for byte — counts
 come from the trace, ordering from the model's own layer enumeration and
-sorted metric names.
+sorted metric names.  :func:`layer_report_data` exposes the same grid as
+a machine-readable dict for ``repro.cli report --format json``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Any, Dict, Iterable, Tuple, Union
 
 from ..core.concerns import ConcernClassifier
 from ..core.layers import DEVICE_SIDE, USER_SIDE, Column, Layer, layers_top_down
 from ..kernel.scheduler import Simulator
+
+#: Anything layer_report can render: a finished simulator (replay) or a
+#: StreamingAggregator (duck-typed on ``layer_counts`` to keep this
+#: module import-light).
+ReportSource = Union[Simulator, Any]
 
 
 def _classify_issues(sim: Simulator, user_sources: Iterable[str],
@@ -40,20 +53,52 @@ def _classify_issues(sim: Simulator, user_sources: Iterable[str],
     return counts, unclassified
 
 
-def layer_report(sim: Simulator, user_sources: Iterable[str] = (),
+def _source_stats(source: ReportSource, user_sources: Iterable[str],
+                  ) -> Dict[str, Any]:
+    """Normalise either source into the numbers the report renders.
+
+    A StreamingAggregator is recognised by its ``layer_counts`` method;
+    everything else is treated as a simulator and replayed.
+    """
+    if hasattr(source, "layer_counts"):
+        sim = source.sim
+        counts, unclassified = source.layer_counts()
+        return {
+            "sim": sim,
+            "counts": counts,
+            "unclassified": unclassified,
+            "records": source.records_seen,
+            "dropped": sim.tracer.dropped,
+            "spans": source.spans_begun,
+            "spans_open": source.spans_open,
+        }
+    counts, unclassified = _classify_issues(source, user_sources)
+    tracer = source.tracer
+    return {
+        "sim": source,
+        "counts": counts,
+        "unclassified": unclassified,
+        "records": len(tracer.records),
+        "dropped": tracer.dropped,
+        "spans": len(tracer.spans),
+        "spans_open": sum(1 for span in tracer.spans if span.end is None),
+    }
+
+
+def layer_report(source: ReportSource, user_sources: Iterable[str] = (),
                  title: str = "LPC run report") -> str:
     """Render the per-layer issue grid plus metrics for a finished run."""
-    counts, unclassified = _classify_issues(sim, user_sources)
-    tracer = sim.tracer
-    open_spans = sum(1 for span in tracer.spans if span.end is None)
+    stats = _source_stats(source, user_sources)
+    sim = stats["sim"]
+    counts = stats["counts"]
 
     lines = [title, "=" * len(title), ""]
     lines.append(f"simulated time  : {sim.now:.2f} s")
     lines.append(f"events executed : {sim.events_executed}")
-    lines.append(f"trace records   : {len(tracer.records)} "
-                 f"({tracer.dropped} dropped)")
-    lines.append(f"spans           : {len(tracer.spans)} "
-                 f"({open_spans} open)")
+    lines.append(f"trace records   : {stats['records']} "
+                 f"({stats['dropped']} dropped)")
+    lines.append(f"spans           : {stats['spans']} "
+                 f"({stats['spans_open']} open)")
     lines.append("")
 
     header = (f"{'layer':<12} {'device artifact':<28} {'issues':>6}   "
@@ -73,8 +118,8 @@ def layer_report(sim: Simulator, user_sources: Iterable[str] = (),
     lines.append("-" * len(header))
     lines.append(
         f"{'total':<12} {'':<28} {device_total:>6}   {'':<20} {user_total:>6}")
-    if unclassified:
-        lines.append(f"unclassified issues: {unclassified}")
+    if stats["unclassified"]:
+        lines.append(f"unclassified issues: {stats['unclassified']}")
     lines.append("")
 
     snapshot = sim.metrics.snapshot()
@@ -102,3 +147,45 @@ def layer_report(sim: Simulator, user_sources: Iterable[str] = (),
                 f"abandoned={latency['abandoned']}")
         lines.append("")
     return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def layer_report_data(source: ReportSource,
+                      user_sources: Iterable[str] = (),
+                      title: str = "LPC run report") -> Dict[str, Any]:
+    """The layer grid as a machine-readable dict (for ``--format json``).
+
+    Layers keep the model's top-down order; every leaf is a JSON type,
+    so ``json.dumps(..., sort_keys=True)`` is byte-stable across runs of
+    the same seed.
+    """
+    stats = _source_stats(source, user_sources)
+    sim = stats["sim"]
+    counts = stats["counts"]
+    layers = []
+    device_total = 0
+    user_total = 0
+    for layer in layers_top_down():
+        device_count = counts.get((layer, Column.DEVICE), 0)
+        user_count = counts.get((layer, Column.USER), 0)
+        device_total += device_count
+        user_total += user_count
+        layers.append({
+            "layer": layer.name.lower(),
+            "device_artifact": DEVICE_SIDE[layer],
+            "device_issues": device_count,
+            "user_artifact": USER_SIDE[layer],
+            "user_issues": user_count,
+        })
+    return {
+        "title": title,
+        "sim_time": sim.now,
+        "events_executed": sim.events_executed,
+        "records": stats["records"],
+        "records_dropped": stats["dropped"],
+        "spans": stats["spans"],
+        "spans_open": stats["spans_open"],
+        "layers": layers,
+        "totals": {"device": device_total, "user": user_total},
+        "unclassified_issues": stats["unclassified"],
+        "metrics": sim.metrics.snapshot(),
+    }

@@ -1,0 +1,257 @@
+"""Bounded-memory streaming aggregation of live telemetry.
+
+The replay path (:func:`~repro.telemetry.summary.telemetry_summary`,
+:func:`~repro.telemetry.report.layer_report`) walks the tracer's stored
+record list after the run.  At the million-event scale the ROADMAP's
+distributed shards target, storing that list is the dominant memory cost
+— and it is pure waste when all anyone reads afterwards is a handful of
+aggregates.
+
+:class:`StreamingAggregator` subscribes to the tracer and folds every
+record and span *as it happens* into fixed-size state: LPC issue counts
+per layer/column (via the same :class:`~repro.core.concerns
+.ConcernClassifier` the replay path uses), record/span totals, and
+per-category span-duration histograms over fixed log-spaced buckets.
+Memory is O(layers + categories), never O(events) — pair it with the
+tracer's ``stream`` mode and a run retains nothing at all.
+
+Equivalence contract (tier-1 tested): on an unbounded traced run,
+:meth:`StreamingAggregator.summary` is byte-identical to
+``telemetry_summary(sim)`` and feeding the aggregator to
+``layer_report`` reproduces the replay report byte for byte.  Bounded
+``head``/``ring`` tracers *drop* records from storage but still dispatch
+them to subscribers, so there the streaming totals are the more truthful
+of the two.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..core.concerns import ConcernClassifier
+from ..core.layers import Column, Layer
+from ..kernel.scheduler import Simulator
+from ..kernel.trace import (Span, TraceRecord, add_default_span_begin_hook,
+                            add_default_span_hook, add_default_subscriber)
+
+#: Log-spaced span-duration bucket edges (simulated seconds): a decade per
+#: bucket from 1 µs to 1 Ms, with an underflow and an overflow bucket.
+DEFAULT_SPAN_EDGES: Tuple[float, ...] = tuple(
+    10.0 ** k for k in range(-6, 7))
+
+#: Distinct span categories histogrammed before folding into the overflow
+#: key — the bound that keeps aggregator memory fixed on hostile input.
+DEFAULT_MAX_CATEGORIES = 64
+
+#: Catch-all histogram key once ``max_categories`` is exhausted.
+OVERFLOW_CATEGORY = "__other__"
+
+
+def _new_histogram(edges: Tuple[float, ...]) -> Dict[str, Any]:
+    return {"count": 0, "sum": 0.0, "min": None, "max": None,
+            "buckets": [0] * (len(edges) + 1)}
+
+
+def _fold_duration(hist: Dict[str, Any], edges: Tuple[float, ...],
+                   duration: float) -> None:
+    hist["count"] += 1
+    hist["sum"] += duration
+    hist["min"] = (duration if hist["min"] is None
+                   else min(hist["min"], duration))
+    hist["max"] = (duration if hist["max"] is None
+                   else max(hist["max"], duration))
+    hist["buckets"][bisect.bisect_right(edges, duration)] += 1
+
+
+def span_duration_histogram(spans: Iterable[Span],
+                            edges: Tuple[float, ...] = DEFAULT_SPAN_EDGES,
+                            ) -> Dict[str, Dict[str, Any]]:
+    """Replay twin of the streaming histograms: fold stored, *ended* spans.
+
+    Used by the equivalence tests to prove the incremental fold matches a
+    post-hoc pass over ``tracer.spans``.
+    """
+    out: Dict[str, Dict[str, Any]] = {}
+    for span in spans:
+        if span.end is None:
+            continue
+        hist = out.get(span.category)
+        if hist is None:
+            hist = out[span.category] = _new_histogram(edges)
+        _fold_duration(hist, edges, span.duration)
+    return dict(sorted(out.items()))
+
+
+class StreamingAggregator:
+    """Folds tracer output incrementally; O(1) memory in the event count.
+
+    Args:
+        user_sources: component names whose issues land in the *user*
+            column (same contract as ``telemetry_summary``).
+        edges: span-duration bucket edges (log-spaced by default).
+        max_categories: distinct span categories before new ones fold
+            into ``"__other__"``.
+
+    Wire-up, in either direction:
+
+    * :meth:`attach` subscribes to an existing simulator's tracer;
+    * :meth:`install_default` registers process-default hooks so
+      simulators constructed *later* (deep inside an experiment) feed
+      the aggregator — then :meth:`bind` the finished sim before
+      :meth:`summary`.
+    """
+
+    def __init__(self, user_sources: Iterable[str] = (),
+                 edges: Tuple[float, ...] = DEFAULT_SPAN_EDGES,
+                 max_categories: int = DEFAULT_MAX_CATEGORIES) -> None:
+        self._classifier = ConcernClassifier()
+        self._users = frozenset(user_sources)
+        self._edges = tuple(edges)
+        self._max_categories = max_categories
+        self.records_seen = 0
+        self.issues_seen = 0
+        self.spans_begun = 0
+        self.spans_ended = 0
+        self.unclassified = 0
+        self._grid: Dict[Tuple[Layer, Column], int] = {}
+        self._issues_by_layer: Dict[str, int] = {}
+        self._issues_by_column: Dict[str, int] = {}
+        self._histograms: Dict[str, Dict[str, Any]] = {}
+        self._sim: Optional[Simulator] = None
+        self._removers: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, sim: Simulator) -> "StreamingAggregator":
+        """Subscribe to ``sim``'s tracer and remember it for summaries."""
+        self._sim = sim
+        tracer = sim.tracer
+        self._removers.append(tracer.subscribe("", self.on_record))
+        self._removers.append(tracer.add_span_begin_hook(self.on_span_begin))
+        self._removers.append(tracer.add_span_hook(self.on_span_end))
+        return self
+
+    def install_default(self) -> Callable[[], None]:
+        """Feed every *future* tracer into this aggregator.
+
+        Returns a remover; pair with :meth:`bind` once the run's
+        simulator exists so :meth:`summary` can read time/event totals.
+        """
+        removers = [
+            add_default_subscriber("", self.on_record),
+            add_default_span_begin_hook(self.on_span_begin),
+            add_default_span_hook(self.on_span_end),
+        ]
+        self._removers.extend(removers)
+
+        def remove() -> None:
+            for remover in removers:
+                remover()
+
+        return remove
+
+    def bind(self, sim: Simulator) -> "StreamingAggregator":
+        """Associate ``sim`` without subscribing (hooks already wired)."""
+        self._sim = sim
+        return self
+
+    def detach(self) -> None:
+        """Undo every subscription this aggregator installed."""
+        for remover in self._removers:
+            remover()
+        self._removers.clear()
+
+    # ------------------------------------------------------------------
+    # Fold callbacks (also usable directly as tracer hooks)
+    # ------------------------------------------------------------------
+    def on_record(self, record: TraceRecord) -> None:
+        self.records_seen += 1
+        if not record.matches("issue"):
+            return
+        self.issues_seen += 1
+        try:
+            concern = self._classifier.from_trace(record, self._users)
+        except Exception:
+            # Mirror telemetry_summary: an unplaceable issue counts under
+            # "unclassified" and must never kill the run that emitted it.
+            self.unclassified += 1
+            self._issues_by_layer["unclassified"] = \
+                self._issues_by_layer.get("unclassified", 0) + 1
+            return
+        column = (Column.USER if concern.column == Column.USER
+                  else Column.DEVICE)
+        key = (concern.layer, column)
+        self._grid[key] = self._grid.get(key, 0) + 1
+        layer_name = concern.layer.name.lower()
+        self._issues_by_layer[layer_name] = \
+            self._issues_by_layer.get(layer_name, 0) + 1
+        column_name = "user" if column == Column.USER else "device"
+        self._issues_by_column[column_name] = \
+            self._issues_by_column.get(column_name, 0) + 1
+
+    def on_span_begin(self, span: Span) -> None:
+        self.spans_begun += 1
+
+    def on_span_end(self, span: Span) -> None:
+        self.spans_ended += 1
+        category = span.category
+        hist = self._histograms.get(category)
+        if hist is None:
+            if len(self._histograms) >= self._max_categories:
+                category = OVERFLOW_CATEGORY
+                hist = self._histograms.get(category)
+            if hist is None:
+                hist = self._histograms[category] = \
+                    _new_histogram(self._edges)
+        _fold_duration(hist, self._edges, span.end - span.start)
+
+    # ------------------------------------------------------------------
+    # Read-out
+    # ------------------------------------------------------------------
+    @property
+    def sim(self) -> Simulator:
+        """The attached/bound simulator (raises if never wired)."""
+        if self._sim is None:
+            raise ValueError(
+                "StreamingAggregator has no simulator — attach()/bind() one")
+        return self._sim
+
+    @property
+    def spans_open(self) -> int:
+        return self.spans_begun - self.spans_ended
+
+    def layer_counts(self) -> Tuple[Dict[Tuple[Layer, Column], int], int]:
+        """The LPC grid and the unclassified count — the report's input."""
+        return dict(self._grid), self.unclassified
+
+    def span_histograms(self) -> Dict[str, Dict[str, Any]]:
+        """Per-category duration histograms, categories sorted."""
+        return {category: dict(hist, buckets=list(hist["buckets"]))
+                for category, hist in sorted(self._histograms.items())}
+
+    def summary(self, sim: Optional[Simulator] = None) -> Dict[str, Any]:
+        """The streaming twin of ``telemetry_summary(sim)``.
+
+        Byte-identical on unbounded traced runs (key order included);
+        closes the metrics registry, so call it when the run is over.
+        """
+        if sim is not None:
+            self._sim = sim
+        if self._sim is None:
+            raise ValueError(
+                "StreamingAggregator.summary() needs a simulator — "
+                "attach()/bind() one first or pass it in")
+        sim = self._sim
+        return {
+            "sim_time": sim.now,
+            "events_executed": sim.events_executed,
+            "records": self.records_seen,
+            "records_dropped": sim.tracer.dropped,
+            "spans": self.spans_begun,
+            "spans_open": self.spans_open,
+            "issues_by_layer": dict(sorted(self._issues_by_layer.items())),
+            "issues_by_column": dict(sorted(self._issues_by_column.items())),
+            "metrics": sim.metrics.close(),
+        }

@@ -9,7 +9,7 @@ volume, issues bucketed by LPC layer, and the final metrics snapshot.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Sequence
+from typing import Any, Dict, Iterable, Optional, Sequence
 
 from ..core.concerns import ConcernClassifier
 from ..core.layers import Column
@@ -17,14 +17,25 @@ from ..kernel.scheduler import Simulator
 
 
 def telemetry_summary(sim: Simulator,
-                      user_sources: Iterable[str] = ()) -> Dict[str, Any]:
+                      user_sources: Iterable[str] = (),
+                      stream: Optional[Any] = None) -> Dict[str, Any]:
     """Summarise a finished run into a JSON/pickle-friendly dict.
 
     Closes the metrics registry (still-open latency measurements become
     ``abandoned``) — call this only when the run is over.  Issues that the
     classifier cannot place land under ``"unclassified"`` instead of
     raising: a summary must never kill the sweep that asked for it.
+
+    With ``stream`` set to a
+    :class:`~repro.telemetry.streaming.StreamingAggregator` that watched
+    the run, the summary comes from the aggregator's incrementally-folded
+    state instead of replaying ``tracer.records`` — byte-identical on
+    unbounded traced runs, and the only source that works in the
+    tracer's ``stream`` mode (``user_sources`` is then the aggregator's
+    own, the argument here is ignored).
     """
+    if stream is not None:
+        return stream.summary(sim)
     tracer = sim.tracer
     classifier = ConcernClassifier()
     users = set(user_sources)

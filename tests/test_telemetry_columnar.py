@@ -1,0 +1,458 @@
+"""Tests for columnar telemetry export and streaming aggregation.
+
+The contract under test: the columnar ``.npz`` export carries the same
+logical lines as the JSONL export (and is byte-deterministic), and a
+:class:`StreamingAggregator` folding the run live is byte-identical to
+the record-replay paths (``telemetry_summary`` / ``layer_report``) on
+unbounded traced runs — including when the tracer runs in ``stream``
+mode and stores nothing at all.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.kernel.errors import ConfigurationError
+from repro.kernel.scheduler import Simulator
+from repro.telemetry.columnar import (HAVE_PYARROW, ColumnarWriter,
+                                      read_columnar, read_telemetry,
+                                      write_run_columnar)
+from repro.telemetry.jsonl import read_jsonl, write_run_jsonl
+from repro.telemetry.report import layer_report, layer_report_data
+from repro.telemetry.streaming import (OVERFLOW_CATEGORY,
+                                       StreamingAggregator,
+                                       span_duration_histogram)
+from repro.telemetry.summary import aggregate_telemetry, telemetry_summary
+
+USERS = {"alice"}
+
+
+def _workload(sim: Simulator) -> None:
+    """A deterministic mixed workload: records, spans (one left open),
+    issues in both columns, an unclassifiable issue, and metrics."""
+    def tick(n: int) -> None:
+        sim.trace("mac.tx", "adapter", "frame out", bytes=100 + n, n=n)
+        if n % 3 == 0:
+            with sim.span("transport.send", "laptop", item=n):
+                sim.trace("mac.rx", "adapter", "frame in")
+        if n == 2:
+            sim.issue("radio", "adapter", "multipath fade")
+            sim.issue("goal", "alice", "projection expectation unmet")
+            sim.issue("???", "mystery", "unplaceable concern")
+        sim.metrics.counter("mac.frames").add()
+
+    for n in range(6):
+        sim.schedule(0.5 * n, tick, n)
+    sim.run(until=4.0)
+    sim.span_begin("session.hold", "alice")  # deliberately left open
+
+
+# ---------------------------------------------------------------------------
+# Columnar export: logical equality with JSONL, determinism, edge cases
+# ---------------------------------------------------------------------------
+
+def test_columnar_round_trip_matches_jsonl(sim, tmp_path):
+    _workload(sim)
+    jsonl_path = tmp_path / "run.jsonl"
+    npz_path = tmp_path / "run.npz"
+    jsonl_counts = write_run_jsonl(jsonl_path, sim)
+    npz_counts = write_run_columnar(npz_path, sim)
+    assert npz_counts == jsonl_counts
+    assert read_columnar(npz_path) == read_jsonl(jsonl_path)
+
+
+def test_columnar_prefix_filter_matches_jsonl(sim, tmp_path):
+    _workload(sim)
+    a = write_run_jsonl(tmp_path / "a.jsonl", sim, prefix="mac",
+                        include_metrics=False)
+    b = write_run_columnar(tmp_path / "b.npz", sim, prefix="mac",
+                           include_metrics=False)
+    assert a == b
+    assert (read_columnar(tmp_path / "b.npz")
+            == read_jsonl(tmp_path / "a.jsonl"))
+
+
+def test_columnar_npz_is_byte_deterministic(tmp_path):
+    paths = []
+    for name in ("a.npz", "b.npz"):
+        sim = Simulator(seed=99)
+        _workload(sim)
+        path = tmp_path / name
+        write_run_columnar(path, sim)
+        paths.append(path)
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+def test_columnar_repeated_export_is_byte_identical(sim, tmp_path):
+    _workload(sim)
+    a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+    write_run_columnar(a, sim)
+    write_run_columnar(b, sim)
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_columnar_open_span_and_parent_round_trip(sim, tmp_path):
+    with sim.span("outer", "t"):
+        with sim.span("inner", "t"):
+            pass
+    sim.span_begin("dangling", "t")
+    path = tmp_path / "spans.npz"
+    write_run_columnar(path, sim, include_metrics=False)
+    spans = {line["category"]: line for line in read_columnar(path)}
+    assert spans["outer"]["parent_id"] is None
+    assert spans["inner"]["parent_id"] == spans["outer"]["span_id"]
+    assert spans["dangling"]["end"] is None
+    assert spans["outer"]["end"] is not None
+
+
+def test_columnar_distinguishes_equal_payload_values(sim, tmp_path):
+    """1, 1.0 and True are equal (and hash alike) in Python but are
+    different JSON — the payload memo must never conflate them."""
+    sim.trace("t", "s", "int", n=1)
+    sim.trace("t", "s", "float", n=1.0)
+    sim.trace("t", "s", "bool", n=True)
+    path = tmp_path / "payloads.npz"
+    write_run_columnar(path, sim, include_metrics=False)
+    values = [line["data"]["n"] for line in read_columnar(path)]
+    assert values == [1, 1.0, True]
+    assert [type(v) for v in values] == [int, float, bool]
+
+
+def test_columnar_unserialisable_payload_degrades_to_repr(sim, tmp_path):
+    sim.trace("t", "s", "obj", obj=object())
+    path = tmp_path / "obj.npz"
+    write_run_columnar(path, sim, include_metrics=False)
+    (line,) = read_columnar(path)
+    assert line["data"]["obj"].startswith("<object object")
+
+
+def test_columnar_unknown_backend_rejected(tmp_path):
+    with pytest.raises(ConfigurationError):
+        ColumnarWriter(tmp_path / "x.bin", backend="csv")
+
+
+@pytest.mark.skipif(HAVE_PYARROW, reason="pyarrow installed here")
+def test_columnar_parquet_backend_gated_without_pyarrow(tmp_path):
+    with pytest.raises(ConfigurationError):
+        ColumnarWriter(tmp_path / "x.parquet", backend="parquet")
+
+
+@pytest.mark.skipif(not HAVE_PYARROW, reason="needs the pyarrow extra")
+def test_columnar_parquet_round_trip_matches_jsonl(sim, tmp_path):
+    _workload(sim)
+    write_run_jsonl(tmp_path / "run.jsonl", sim)
+    write_run_columnar(tmp_path / "run.parquet", sim)
+    assert (read_columnar(tmp_path / "run.parquet")
+            == read_jsonl(tmp_path / "run.jsonl"))
+
+
+def test_read_telemetry_dispatches_by_suffix(sim, tmp_path):
+    _workload(sim)
+    write_run_jsonl(tmp_path / "run.jsonl", sim)
+    write_run_columnar(tmp_path / "run.npz", sim)
+    assert (read_telemetry(tmp_path / "run.npz")
+            == read_telemetry(tmp_path / "run.jsonl"))
+
+
+def test_columnar_writer_flush_and_context_manager(sim, tmp_path):
+    sim.trace("t", "s", "one")
+    path = tmp_path / "flush.npz"
+    with ColumnarWriter(path) as writer:
+        writer.write_record(sim.tracer.records[0])
+        writer.flush()
+        assert path.exists()
+        mid = read_columnar(path)
+    assert len(mid) == 1
+    assert writer.bytes == path.stat().st_size > 0
+
+
+# ---------------------------------------------------------------------------
+# JSONL writer hardening (context manager, flush, truncated tail)
+# ---------------------------------------------------------------------------
+
+def test_jsonl_read_tolerates_truncated_final_line(sim, tmp_path):
+    _workload(sim)
+    path = tmp_path / "crash.jsonl"
+    write_run_jsonl(path, sim)
+    whole = read_jsonl(path)
+    raw = path.read_bytes()
+    path.write_bytes(raw[:-20])  # chop mid-way through the last line
+    with pytest.warns(RuntimeWarning, match="truncated final line"):
+        partial = read_jsonl(path)
+    assert partial == whole[:-1]
+
+
+def test_jsonl_read_raises_on_mid_file_corruption(sim, tmp_path):
+    _workload(sim)
+    path = tmp_path / "corrupt.jsonl"
+    write_run_jsonl(path, sim)
+    lines = path.read_text().splitlines()
+    lines[1] = lines[1][:-5]  # damage a line that is *not* the last
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError):
+        read_jsonl(path)
+
+
+def test_export_counters_recorded_at_close(sim, tmp_path):
+    _workload(sim)
+    write_run_jsonl(tmp_path / "run.jsonl", sim, account=True)
+    write_run_columnar(tmp_path / "run.npz", sim, account=True)
+    counters = sim.metrics.snapshot()["counters"]
+    for fmt in ("jsonl", "npz"):
+        assert counters[f"telemetry.export.{fmt}.records"] > 0
+        assert counters[f"telemetry.export.{fmt}.spans"] > 0
+        assert counters[f"telemetry.export.{fmt}.bytes"] > 0
+    # Accounting is once-per-writer even if close() is called again.
+    before = counters["telemetry.export.jsonl.records"]
+    assert before == len(sim.tracer.records)
+
+
+# ---------------------------------------------------------------------------
+# Streaming aggregation: byte-identical to replay
+# ---------------------------------------------------------------------------
+
+def _twin_runs():
+    """Two identical seeded runs: one watched live, one replayed."""
+    streamed = Simulator(seed=7)
+    aggregator = StreamingAggregator(user_sources=USERS).attach(streamed)
+    _workload(streamed)
+    replayed = Simulator(seed=7)
+    _workload(replayed)
+    return aggregator, streamed, replayed
+
+
+def test_streaming_summary_is_byte_identical_to_replay():
+    aggregator, streamed, replayed = _twin_runs()
+    live = telemetry_summary(streamed, user_sources=USERS, stream=aggregator)
+    replay = telemetry_summary(replayed, user_sources=USERS)
+    assert json.dumps(live, sort_keys=False) == \
+        json.dumps(replay, sort_keys=False)
+    assert list(live) == list(replay)  # key order, not just content
+    assert live["issues_by_layer"]["unclassified"] == 1
+
+
+def test_streaming_layer_report_is_byte_identical_to_replay():
+    aggregator, _streamed, replayed = _twin_runs()
+    assert (layer_report(aggregator, user_sources=USERS)
+            == layer_report(replayed, user_sources=USERS))
+
+
+def test_streaming_layer_report_data_matches_replay():
+    aggregator, _streamed, replayed = _twin_runs()
+    live = layer_report_data(aggregator, user_sources=USERS)
+    replay = layer_report_data(replayed, user_sources=USERS)
+    assert json.dumps(live, sort_keys=True) == \
+        json.dumps(replay, sort_keys=True)
+    assert live["totals"] == {"device": 1, "user": 1}
+    assert live["unclassified_issues"] == 1
+
+
+def test_stream_mode_stores_nothing_but_aggregates_everything():
+    streamed = Simulator(seed=7, trace_mode="stream")
+    aggregator = StreamingAggregator(user_sources=USERS).attach(streamed)
+    _workload(streamed)
+    assert streamed.tracer.records == []
+    assert streamed.tracer.spans == []
+    replayed = Simulator(seed=7)
+    _workload(replayed)
+    live = telemetry_summary(streamed, stream=aggregator)
+    replay = telemetry_summary(replayed, user_sources=USERS)
+    assert json.dumps(live) == json.dumps(replay)
+
+
+def test_stream_mode_with_capacity_is_configuration_error():
+    with pytest.raises(ConfigurationError):
+        Simulator(trace_capacity=100, trace_mode="stream")
+
+
+def test_streaming_counts_records_bounded_tracers_drop():
+    """head/ring tracers drop records from *storage* but still dispatch
+    them — the streaming totals are the more truthful of the two."""
+    sim = Simulator(seed=7, trace_capacity=3, trace_mode="head")
+    aggregator = StreamingAggregator().attach(sim)
+    for n in range(10):
+        sim.trace("tick", "t", str(n))
+    assert len(sim.tracer.records) == 3
+    assert sim.tracer.dropped == 7
+    assert aggregator.records_seen == 10
+
+
+def test_streaming_histograms_match_replay():
+    aggregator, streamed, _replayed = _twin_runs()
+    replay = span_duration_histogram(streamed.tracer.spans)
+    assert aggregator.span_histograms() == replay
+    hist = aggregator.span_histograms()["transport.send"]
+    assert hist["count"] == sum(hist["buckets"]) == 2
+    assert hist["min"] <= hist["max"]
+    # The open session.hold span is not folded by either path.
+    assert "session.hold" not in aggregator.span_histograms()
+
+
+def test_streaming_histogram_category_cap_overflows():
+    sim = Simulator(seed=1)
+    aggregator = StreamingAggregator(max_categories=2).attach(sim)
+    for n in range(5):
+        with sim.span(f"cat.{n}", "t"):
+            pass
+    hists = aggregator.span_histograms()
+    assert set(hists) == {"cat.0", "cat.1", OVERFLOW_CATEGORY}
+    assert hists[OVERFLOW_CATEGORY]["count"] == 3
+
+
+def test_streaming_install_default_feeds_later_sims():
+    aggregator = StreamingAggregator(user_sources=USERS)
+    remove = aggregator.install_default()
+    try:
+        sim = Simulator(seed=7)  # constructed *after* the hooks
+        _workload(sim)
+    finally:
+        remove()
+    aggregator.bind(sim)
+    untouched = Simulator(seed=7)
+    _workload(untouched)
+    assert (layer_report(aggregator, user_sources=USERS)
+            == layer_report(untouched, user_sources=USERS))
+    before = aggregator.records_seen
+    Simulator(seed=1).trace("tick", "t", "after removal")
+    assert aggregator.records_seen == before
+
+
+def test_streaming_summary_requires_a_simulator():
+    with pytest.raises(ValueError):
+        StreamingAggregator().summary()
+
+
+# ---------------------------------------------------------------------------
+# Aggregation across seeds and the fork pipe
+# ---------------------------------------------------------------------------
+
+def test_aggregate_telemetry_merges_streaming_summaries():
+    summaries = []
+    for seed in (3, 4):
+        sim = Simulator(seed=seed, trace_mode="stream")
+        aggregator = StreamingAggregator(user_sources=USERS).attach(sim)
+        _workload(sim)
+        summaries.append(telemetry_summary(sim, stream=aggregator))
+    merged = aggregate_telemetry(summaries)
+    assert merged["replicates"] == 2
+    assert merged["records"] == sum(s["records"] for s in summaries)
+    assert merged["issues_by_layer"]["environment"] == 2
+    assert merged["issues_by_column"] == {"device": 2, "user": 2}
+    assert merged["metrics"]["counters"]["mac.frames"] == 12
+
+
+def _streamed_point(seed, knob):
+    """A sweep run_one whose telemetry comes from a stream-mode run."""
+    sim = Simulator(seed=seed, trace_mode="stream")
+    aggregator = StreamingAggregator(user_sources=USERS).attach(sim)
+    _workload(sim)
+    return {"issues": aggregator.issues_seen,
+            "telemetry": telemetry_summary(sim, stream=aggregator)}
+
+
+def test_averaged_seeds_merge_streaming_summaries():
+    from repro.experiments.sweeps import averaged_over_seeds, grid, sweep
+
+    result = sweep("X", "streamed", _streamed_point,
+                   grid(knob=[1]), seeds=(0, 1))
+    averaged = averaged_over_seeds(result, group_by=("knob",),
+                                   metrics=("issues",))
+    (merged,) = averaged.telemetry
+    assert merged["replicates"] == 2
+    assert merged["records"] == sum(
+        entry["records"] for entry in result.telemetry)
+    assert merged["issues_by_column"] == {"device": 2, "user": 2}
+    assert merged["metrics"]["counters"]["mac.frames"] == 12
+
+
+def test_sweep_ships_streaming_telemetry_across_fork_pipe():
+    """E2 (now summarised via a StreamingAggregator) must stay identical
+    between serial and parallel execution — the aggregates, not the raw
+    trace, cross the pipe."""
+    from repro.experiments.e2_interference import run as e2_run
+
+    serial = e2_run(densities=(0, 1), duration=2.0,
+                    channel_plans=("cochannel",))
+    parallel = e2_run(densities=(0, 1), duration=2.0,
+                      channel_plans=("cochannel",), workers=2)
+    assert serial.rows == parallel.rows
+    assert serial.telemetry == parallel.telemetry
+    merged = aggregate_telemetry(serial.telemetry)
+    assert merged["replicates"] == len(serial.rows)
+
+
+# ---------------------------------------------------------------------------
+# CLI integration
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def pin_session_ids(monkeypatch):
+    """Pin the process-global session-id counter between CLI runs.
+
+    Session tokens embed ``next(_session_seq)`` and RPC wire sizes are
+    ``len(str(value))``-based, so when the counter crosses a digit
+    boundary between two in-process runs the frames get a byte longer
+    and timings drift at the ~1e-6 level.  Byte-level run-vs-run
+    comparisons must control that leaked state or they test the
+    counter's position, not the code under test."""
+    import itertools
+
+    import repro.services.sessions as sessions
+
+    def pin() -> None:
+        monkeypatch.setattr(sessions, "_session_seq", itertools.count(1))
+
+    return pin
+
+
+def test_cli_report_stream_matches_replay(capsys, pin_session_ids):
+    from repro.cli import main
+
+    pin_session_ids()
+    assert main(["report", "--lpc", "--horizon", "30"]) == 0
+    plain = capsys.readouterr().out
+    pin_session_ids()
+    assert main(["report", "--lpc", "--horizon", "30", "--stream"]) == 0
+    streamed = capsys.readouterr().out
+    assert streamed == plain
+
+
+def test_cli_report_format_json_is_machine_readable(capsys, pin_session_ids):
+    from repro.cli import main
+
+    pin_session_ids()
+    assert main(["report", "--lpc", "--horizon", "30",
+                 "--format", "json"]) == 0
+    first = capsys.readouterr().out
+    data = json.loads(first)
+    assert data["title"].startswith("LPC run report")
+    assert len(data["layers"]) == 5
+    assert {"device", "user"} == set(data["totals"])
+    assert first == json.dumps(data, sort_keys=True, indent=2) + "\n"
+    pin_session_ids()
+    assert main(["report", "--lpc", "--horizon", "30",
+                 "--format", "json", "--stream"]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_cli_report_format_json_requires_lpc(capsys):
+    from repro.cli import main
+
+    assert main(["report", "--format", "json"]) == 2
+    assert "--lpc" in capsys.readouterr().err
+
+
+def test_cli_demo_trace_columnar_export(capsys, tmp_path):
+    from repro.cli import main
+
+    out = tmp_path / "demo.npz"
+    assert main(["demo", "--horizon", "20", "--trace", "mac",
+                 "--trace-out", str(out), "--telemetry-format",
+                 "columnar"]) == 0
+    assert "columnar lines" in capsys.readouterr().err
+    lines = read_telemetry(out)
+    assert lines
+    assert all(line["category"].startswith("mac") for line in lines)
+    assert {line["type"] for line in lines} <= {"record", "span"}
