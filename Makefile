@@ -7,23 +7,28 @@
 #                 (LPC2xx) against checks_baseline.json
 #   make bench  - E10 kernel microbenchmarks (pytest-benchmark statistics),
 #                 then BENCH_*.json emission (kernel/sweeps/trace/scale/
-#                 cache/storm/telemetry — scale runs 200/500/1000-station
-#                 rooms culled vs exhaustive; cache runs the E2 sweep
-#                 uncached vs cold vs warm through the content-addressed
-#                 run cache; storm runs the batched-vs-legacy homogeneous-
-#                 timer storm; telemetry exports 1M synthetic events as
-#                 JSONL vs columnar and probes streaming-aggregation
-#                 memory) + the regression gates: >20% throughput vs
+#                 cache/storm/telemetry/shard — scale runs 200/500/1000-
+#                 station rooms culled vs exhaustive; cache runs the E2
+#                 sweep uncached vs cold vs warm through the content-
+#                 addressed run cache; storm runs the batched-vs-legacy
+#                 homogeneous-timer storm; telemetry exports 1M synthetic
+#                 events as JSONL vs columnar and probes streaming-
+#                 aggregation memory; shard runs the 1.2k-station multi-
+#                 cell grid sharded vs the single-process oracle) + the
+#                 regression gates: >20% throughput vs
 #                 baseline_kernel.json / baseline_scale.json, the cache
 #                 gate (rows identical, warm speedup >= 5x, cold overhead
 #                 <= 5%) vs baseline_cache.json, the sweep gate (rows
 #                 identical; 2x parallel speedup on >=4-cpu hosts), the
 #                 storm gate (outcomes identical, >=10x batched speedup)
-#                 vs baseline_storm.json, and the telemetry gate
+#                 vs baseline_storm.json, the telemetry gate
 #                 (streaming summaries byte-identical, columnar >=3x
 #                 smaller and >=2x faster than JSONL, streaming memory
 #                 bounded, disabled-path overhead <= 5%) vs
-#                 baseline_telemetry.json
+#                 baseline_telemetry.json, and the shard gate (sharded
+#                 outcomes and merged telemetry byte-identical to the
+#                 oracle, coupled multiprocess == inline; 2x 4-shard
+#                 speedup on >=4-cpu hosts) vs baseline_shard.json
 #   make bench-baseline - re-measure and overwrite the committed baselines
 
 PYTHON ?= python

@@ -42,6 +42,10 @@ _MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray",
                                 "defaultdict", "OrderedDict", "Counter",
                                 "deque"})
 
+# Per-shard engine state (LPC108): attributes that hold another shard's
+# simulation engine when read off a shard handle.
+_SHARD_STATE_ATTRS = frozenset({"sim", "world"})
+
 
 def _finding(path: str, node: ast.AST, code: str, message: str) -> Finding:
     rule = RULES[code]
@@ -71,6 +75,10 @@ class DeterminismVisitor(ast.NodeVisitor):
         # heapq is the kernel's private ordering primitive (LPC107):
         # only modules under a kernel/ directory may import it.
         self.in_kernel = "kernel" in path.replace("\\", "/").split("/")
+        # kernel/shard.py is the shard coordinator (LPC108): the one
+        # module allowed to touch per-shard engine state directly.
+        self.in_shard_runtime = path.replace(
+            "\\", "/").endswith("kernel/shard.py")
         # Names bound by imports, each a set of local aliases.
         self.time_mods: Set[str] = set()        # import time [as t]
         self.datetime_mods: Set[str] = set()    # import datetime [as dt]
@@ -228,6 +236,40 @@ class DeterminismVisitor(ast.NodeVisitor):
             self.findings.append(_finding(
                 self.path, node, "LPC103",
                 f"numpy global-state RNG call {name}()"))
+
+    # ------------------------------------------------------------------
+    # Cross-shard engine state: LPC108
+    # ------------------------------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self._check_shard_state(node)
+        self.generic_visit(node)
+
+    def _check_shard_state(self, node: ast.Attribute) -> None:
+        """Flag ``<shard-ish>.sim`` / ``<shard-ish>.world`` outside the
+        shard runtime.
+
+        Purely syntactic, like the rest of this pass: the base must be a
+        name (or attribute, possibly subscripted — ``shards[i]``) whose
+        identifier mentions "shard".  That is exactly the idiom a
+        cross-shard reach-in reads as — a handle to another shard,
+        dereferenced down to its engine objects.
+        """
+        if self.in_shard_runtime or node.attr not in _SHARD_STATE_ATTRS:
+            return
+        base = node.value
+        while isinstance(base, ast.Subscript):
+            base = base.value
+        if isinstance(base, ast.Name):
+            ident = base.id
+        elif isinstance(base, ast.Attribute):
+            ident = base.attr
+        else:
+            return
+        if "shard" in ident.lower():
+            self.findings.append(_finding(
+                self.path, node, "LPC108",
+                f"direct access to {ident}.{node.attr} — another shard's "
+                "engine state"))
 
     def _check_id_sort_key(self, node: ast.Call,
                            chain: Optional[Tuple[str, ...]]) -> None:

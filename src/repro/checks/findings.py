@@ -133,6 +133,16 @@ _rule("LPC107", "direct heapq use outside the kernel", ERROR,
       "schedule through sim.schedule/schedule_at or a sim.batch_class "
       "timer queue instead of a private heap")
 
+_rule("LPC108", "cross-shard state access outside the shard runtime", ERROR,
+      "Under sharded execution each shard's Simulator/World lives in its "
+      "own process; reaching into another shard's .sim or .world works "
+      "only by fork-inheritance accident, silently diverges from the "
+      "multi-process run, and bypasses the conservative-sync ordering "
+      "guarantees. Only kernel/shard.py (the coordinator) may touch "
+      "per-shard engine state directly.",
+      "route cross-shard effects through ShardPorts boundary channels "
+      "(send/open), never through another shard's engine objects")
+
 # ---------------------------------------------------------------------------
 # LPC2xx — layer boundaries
 # ---------------------------------------------------------------------------

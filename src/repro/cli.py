@@ -13,13 +13,15 @@ Subcommands:
   renders from a live streaming aggregator instead of replaying stored
   records (byte-identical either way).
 * ``bench`` — run the E10 kernel/sweep microbenchmarks plus the
-  population-scale culling, run-cache and telemetry-export benchmarks,
-  write ``BENCH_kernel.json`` / ``BENCH_sweeps.json`` /
-  ``BENCH_trace.json`` / ``BENCH_scale.json`` / ``BENCH_cache.json`` /
-  ``BENCH_telemetry.json``, and fail when event throughput regresses
-  >20% against the committed baseline (or the culled/exhaustive
-  outcomes diverge, or the warm-cache replay stops paying, or the
-  columnar exporter loses its size/speed edge over JSONL).
+  population-scale culling, run-cache, telemetry-export and sharded
+  multi-cell benchmarks, write ``BENCH_kernel.json`` /
+  ``BENCH_sweeps.json`` / ``BENCH_trace.json`` / ``BENCH_scale.json`` /
+  ``BENCH_cache.json`` / ``BENCH_telemetry.json`` /
+  ``BENCH_shard.json``, and fail when event throughput regresses >20%
+  against the committed baseline (or the culled/exhaustive outcomes
+  diverge, or the warm-cache replay stops paying, or the columnar
+  exporter loses its size/speed edge over JSONL, or a sharded run's
+  outcomes diverge from the single-process oracle).
 * ``cache`` — inspect (``stats``) or empty (``clear``) the
   content-addressed run cache behind incremental sweeps; honours
   ``REPRO_CACHE_DIR``.
@@ -158,6 +160,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    if getattr(args, "shards", None) is not None:
+        kwargs["shards"] = args.shards
     with _trace_export(args), _cache_policy(args):
         try:
             result = run_experiment(args.experiment_id, **kwargs)
@@ -165,9 +169,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(str(exc), file=sys.stderr)
             return 2
         except TypeError:
+            if kwargs.pop("shards", None) is not None:
+                # Don't silently rerun single-process when sharding was
+                # asked for explicitly.
+                print(f"error: experiment {args.experiment_id!r} is not "
+                      "shard-aware (no 'shards' parameter)",
+                      file=sys.stderr)
+                return 2
             # Experiment without a seed parameter: run with defaults.
             result = run_experiment(args.experiment_id)
     print(result.format_table())
+    if result.meta.get("mode") in ("processes", "inline"):
+        print(f"shards: {result.meta['shards']} ({result.meta['mode']}), "
+              f"{result.meta['rounds']} sync rounds, "
+              f"{result.meta['boundary_events']} boundary events",
+              file=sys.stderr)
     if result.meta.get("cache") is not None:
         cache_meta = result.meta["cache"]
         print(f"cache: {cache_meta['hits']:g} hits / "
@@ -209,6 +225,10 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment_id")
     run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--shards", type=int, default=None,
+                     help="partition the experiment across N shard "
+                          "processes (conservative parallel DES); only "
+                          "shard-aware experiments such as E11 accept it")
     run.add_argument("--cache", action="store_true",
                      help="replay (point, seed) pairs from the "
                           "content-addressed run cache where possible")
@@ -468,10 +488,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"summaries identical={telemetry['summary_identical']} "
           f"-> {telemetry_path}")
 
+    shard = bench.bench_shard()
+    shard_path = bench.write_bench_json(out_dir, shard)
+    print(f"shard: oracle {shard['oracle_wall_s']:.2f}s vs "
+          f"{shard['shards']}-shard {shard['sharded_wall_s']:.2f}s "
+          f"({shard['speedup']:.2f}x on {shard['cpus']} cpus, "
+          f"mode={shard['mode']}, "
+          f"identical={shard['outcomes_identical']}, "
+          f"coupled identical={shard['coupled']['outcomes_identical']}) "
+          f"-> {shard_path}")
+
     scale_baseline_path = baseline_path.parent / "baseline_scale.json"
     cache_baseline_path = baseline_path.parent / "baseline_cache.json"
     storm_baseline_path = baseline_path.parent / "baseline_storm.json"
     telemetry_baseline_path = baseline_path.parent / "baseline_telemetry.json"
+    shard_baseline_path = baseline_path.parent / "baseline_shard.json"
     if args.update_baseline:
         baseline_path.parent.mkdir(parents=True, exist_ok=True)
         baseline_path.write_text(kernel_path.read_text())
@@ -479,11 +510,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         cache_baseline_path.write_text(cache_path.read_text())
         storm_baseline_path.write_text(storm_path.read_text())
         telemetry_baseline_path.write_text(telemetry_path.read_text())
+        shard_baseline_path.write_text(shard_path.read_text())
         print(f"baseline updated -> {baseline_path}")
         print(f"baseline updated -> {scale_baseline_path}")
         print(f"baseline updated -> {cache_baseline_path}")
         print(f"baseline updated -> {storm_baseline_path}")
         print(f"baseline updated -> {telemetry_baseline_path}")
+        print(f"baseline updated -> {shard_baseline_path}")
         return 0
 
     baseline = bench.load_baseline(baseline_path)
@@ -517,6 +550,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     failures += bench.check_telemetry_regression(
         telemetry, bench.load_baseline(telemetry_baseline_path),
         kernel_baseline=baseline)
+    # Shard gate: sharded-vs-oracle and coupled multiprocess-vs-inline
+    # outcome identity always; the 4-shard speedup floor only on hosts
+    # with enough usable cores; oracle throughput vs the committed shard
+    # baseline when one exists.
+    failures += bench.check_shard_regression(
+        shard, bench.load_baseline(shard_baseline_path))
     for failure in failures:
         print(f"regression: {failure}", file=sys.stderr)
     if not failures:

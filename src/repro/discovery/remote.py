@@ -1,0 +1,149 @@
+"""Home-shard routing for discovery traffic across a sharded run.
+
+When the world is partitioned (:mod:`repro.kernel.shard`), the lookup
+service lives on exactly one shard — its *home* — just as the paper's
+lookup infrastructure lives on one hub machine.  Stations on other
+shards still need to register services, renew leases and run lookups;
+:class:`RegistryBridge` carries those round-trips over the shard
+boundary channels instead of reaching into the remote simulator (which
+rule ``LPC108`` forbids).
+
+The bridge models the wired backhaul between cells: each request takes
+(at least) one lookahead of latency to reach the home registry, and the
+answer takes another to come back — discovery across a cell boundary is
+*slower* than local discovery, which is exactly the paper's argument for
+cell-local infrastructure.  Requests execute on the home shard at their
+effect time against the real :class:`~repro.discovery.registry
+.LookupService`; responses carry only plain data
+(:class:`RemoteLease`, :class:`~repro.discovery.records.ServiceItem`
+tuples), never live objects with simulator references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..kernel.errors import ConfigurationError
+from ..kernel.shard import ShardPorts
+from .records import ServiceItem, ServiceTemplate
+
+REQUEST_CHANNEL = "discovery.req"
+RESPONSE_CHANNEL = "discovery.rsp"
+
+
+@dataclass(frozen=True)
+class RemoteLease:
+    """A lease as seen from a remote shard: plain numbers, no table ref.
+
+    Renew/cancel go back through the bridge by ``lease_id``; the times
+    let the remote side schedule its renewals locally.
+    """
+
+    lease_id: int
+    granted_at: float
+    duration: float
+    expires_at: float
+
+
+class RegistryBridge:
+    """One endpoint of the cross-shard discovery channel.
+
+    Constructed with a ``registry`` it is the *home* side: it opens the
+    request channel and serves register/renew/cancel/lookup against the
+    co-located :class:`~repro.discovery.registry.LookupService`.
+    Constructed without one it is a *client*: it opens the response
+    channel and exposes the same four verbs, each taking an optional
+    ``callback`` invoked with the (plain-data) result two lookaheads
+    later.
+    """
+
+    def __init__(self, ports: ShardPorts, *, registry: Any = None,
+                 home_shard: Optional[int] = None) -> None:
+        self.ports = ports
+        self.registry = registry
+        self.requests_served = 0
+        self.responses_received = 0
+        if registry is not None:
+            self.home_shard = ports.shard_id
+            ports.open(REQUEST_CHANNEL, self._serve)
+        else:
+            if home_shard is None:
+                raise ConfigurationError(
+                    "a client-side RegistryBridge needs the home shard id")
+            if home_shard == ports.shard_id:
+                raise ConfigurationError(
+                    "this shard IS the home shard — pass the registry "
+                    "instead of routing to ourselves")
+            self.home_shard = home_shard
+            self._seq = 0
+            self._waiting: Dict[int, Optional[Callable[[Any], None]]] = {}
+            ports.open(RESPONSE_CHANNEL, self._on_response)
+
+    # ------------------------------------------------------------------
+    # Client verbs (remote shards)
+    # ------------------------------------------------------------------
+    def register(self, item: ServiceItem, lease_duration: float,
+                 callback: Optional[Callable[[RemoteLease], None]] = None,
+                 ) -> None:
+        self._request(("register", item, lease_duration), callback)
+
+    def renew(self, lease_id: int, duration: Optional[float] = None,
+              callback: Optional[Callable[[RemoteLease], None]] = None,
+              ) -> None:
+        self._request(("renew", lease_id, duration), callback)
+
+    def cancel(self, lease_id: int,
+               callback: Optional[Callable[[Any], None]] = None) -> None:
+        self._request(("cancel", lease_id), callback)
+
+    def lookup(self, template: ServiceTemplate, max_matches: int = 16,
+               callback: Optional[Callable[[Tuple[ServiceItem, ...]],
+                                           None]] = None) -> None:
+        self._request(("lookup", template, max_matches), callback)
+
+    def _request(self, request: Tuple[Any, ...],
+                 callback: Optional[Callable[[Any], None]]) -> None:
+        if self.registry is not None:
+            raise ConfigurationError(
+                "home-side bridge serves requests, it does not send them — "
+                "call the co-located registry directly")
+        self._seq += 1
+        self._waiting[self._seq] = callback
+        self.ports.send(REQUEST_CHANNEL, dst=self.home_shard,
+                        payload=(self._seq, request))
+
+    def _on_response(self, src: int, payload: Tuple[int, Any]) -> None:
+        req_id, result = payload
+        self.responses_received += 1
+        callback = self._waiting.pop(req_id, None)
+        if callback is not None:
+            callback(result)
+
+    # ------------------------------------------------------------------
+    # Home side
+    # ------------------------------------------------------------------
+    def _serve(self, src: int, payload: Tuple[int, Tuple[Any, ...]]) -> None:
+        req_id, request = payload
+        op = request[0]
+        registry = self.registry
+        if op == "register":
+            _, item, lease_duration = request
+            lease = registry.register(item, lease_duration)
+            result: Any = RemoteLease(lease.lease_id, lease.granted_at,
+                                      lease.duration, lease.expires_at)
+        elif op == "renew":
+            _, lease_id, duration = request
+            lease = registry.renew(lease_id, duration)
+            result = RemoteLease(lease.lease_id, lease.granted_at,
+                                 lease.duration, lease.expires_at)
+        elif op == "cancel":
+            registry.cancel(request[1])
+            result = True
+        elif op == "lookup":
+            _, template, max_matches = request
+            result = tuple(registry.lookup(template, max_matches))
+        else:
+            raise ConfigurationError(f"unknown discovery op {op!r}")
+        self.requests_served += 1
+        self.ports.send(RESPONSE_CHANNEL, dst=src, payload=(req_id, result))

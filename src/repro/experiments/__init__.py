@@ -23,6 +23,7 @@ from .workloads import (
 )
 
 # Importing the modules registers their experiments.
+from . import cellgrid  # noqa: F401
 from . import e1_vnc  # noqa: F401
 from . import e2_interference  # noqa: F401
 from . import e2_scale  # noqa: F401

@@ -720,6 +720,178 @@ def check_scale_regression(current: Dict[str, Any],
 
 
 # ---------------------------------------------------------------------------
+# Sharded-simulation benchmark (conservative parallel DES)
+# ---------------------------------------------------------------------------
+
+#: Cells (= shards) in the disjoint-rooms configuration.
+SHARD_CELLS: int = 4
+
+#: Stations per cell; 4 x 300 puts the disjoint config in the ISSUE's
+#: 1k-5k band while keeping the single-process oracle under ~10 s.
+SHARD_STATIONS_PER_CELL: int = 300
+
+#: Simulated horizon for the disjoint configuration.
+SHARD_HORIZON_S: float = 0.5
+
+#: Lookahead for the sharded runs (cross-boundary propagation plus MAC
+#: turnaround; generous because the disjoint config freeruns anyway).
+SHARD_LOOKAHEAD_S: float = 5e-3
+
+#: Machine-independent floor on oracle-vs-sharded speedup with one shard
+#: per cell — applied only with enough usable cores (below).
+SHARD_MIN_SPEEDUP: float = 2.0
+
+#: Fork-per-shard parallelism cannot pay on a container pinned to fewer
+#: cores than shards; the speedup floor is gated like the sweeps one.
+SHARD_MIN_CPUS_FOR_GATE: int = 4
+
+
+def bench_shard(cells: int = SHARD_CELLS,
+                stations_per_cell: int = SHARD_STATIONS_PER_CELL,
+                horizon: float = SHARD_HORIZON_S,
+                lookahead: float = SHARD_LOOKAHEAD_S) -> Dict[str, Any]:
+    """Sharded multi-cell run vs the single-process culled oracle.
+
+    Two configurations, mirroring the equivalence methodology of the
+    culling and batching benches:
+
+    * **disjoint rooms** — cells further apart than the interference
+      radius, one shard per cell.  Outcomes (per-room delivery logs) and
+      merged telemetry must be byte-identical to the oracle on every
+      machine; the wall-clock ratio is the headline speedup.
+    * **boundary-coupled** — a bridged link and remote-registry traffic
+      across shards.  There is no single-process oracle here (the
+      boundary latency *is* the model), so the multi-process run is held
+      byte-identical to the in-process coordinator instead.
+    """
+    from ..kernel.shard import ShardedSimulator, merge_summaries
+    from ..telemetry.summary import telemetry_summary
+    from .cellgrid import (cell_layout, cell_room_builders, cell_rooms,
+                           coupled_cell_builders, deliveries_by_room)
+
+    layout = cell_layout(cells=cells, stations_per_cell=stations_per_cell,
+                         seed=7)
+
+    t0 = time.perf_counter()
+    oracle = cell_rooms(layout)
+    oracle.sim.run(until=horizon)
+    oracle_wall = time.perf_counter() - t0
+    oracle_summary = telemetry_summary(oracle.sim, stream=oracle.aggregator)
+
+    t0 = time.perf_counter()
+    engine = ShardedSimulator(cell_room_builders(layout, cells),
+                              lookahead=lookahead)
+    engine.run(until=horizon)
+    sharded_wall = time.perf_counter() - t0
+    merged_rows = [entry for rows in engine.results for entry in rows]
+    rows_identical = (deliveries_by_room(layout, oracle.deliveries)
+                      == deliveries_by_room(layout, merged_rows))
+    telemetry_identical = (merge_summaries([oracle_summary])
+                           == engine.telemetry())
+
+    # Boundary-coupled: small population, the sync protocol is the load.
+    coupled_layout = cell_layout(cells=cells, stations_per_cell=15, seed=3)
+    coupled_runs = []
+    coupled_walls = []
+    for processes in (False, True):
+        t0 = time.perf_counter()
+        coupled = ShardedSimulator(
+            coupled_cell_builders(coupled_layout, cells),
+            lookahead=2e-3, processes=processes)
+        coupled.run(until=1.0)
+        coupled_walls.append(time.perf_counter() - t0)
+        coupled_runs.append(coupled)
+    inline_run, process_run = coupled_runs
+    coupled_identical = (inline_run.results == process_run.results
+                         and inline_run.telemetry()
+                         == process_run.telemetry())
+
+    return {
+        "name": "shard",
+        "stations": layout.stations,
+        "cells": cells,
+        "shards": cells,
+        "horizon_s": horizon,
+        "lookahead_s": lookahead,
+        "oracle_wall_s": oracle_wall,
+        "sharded_wall_s": sharded_wall,
+        "oracle_deliveries": len(oracle.deliveries),
+        "oracle_deliveries_per_sec": (len(oracle.deliveries) / oracle_wall
+                                      if oracle_wall else 0.0),
+        "speedup": oracle_wall / sharded_wall if sharded_wall else 0.0,
+        "mode": engine.stats["mode"],
+        "rounds": engine.stats["rounds"],
+        "outcomes_identical": rows_identical,
+        "telemetry_identical": telemetry_identical,
+        "coupled": {
+            "stations": coupled_layout.stations,
+            "inline_wall_s": coupled_walls[0],
+            "process_wall_s": coupled_walls[1],
+            "rounds": process_run.stats["rounds"],
+            "boundary_events": process_run.stats["boundary_events"],
+            "outcomes_identical": coupled_identical,
+        },
+        "cpus": _usable_cpus(),
+        "source": "in-process",
+    }
+
+
+def check_shard_regression(current: Dict[str, Any],
+                           baseline: Optional[Dict[str, Any]],
+                           tolerance: float = REGRESSION_TOLERANCE,
+                           ) -> List[str]:
+    """Gate the shard benchmark.
+
+    Outcome identity is mandatory on every machine, in both directions:
+    the disjoint sharded run against the single-process oracle, and the
+    coupled multi-process run against the in-process coordinator.  The
+    :data:`SHARD_MIN_SPEEDUP` floor applies only when the host has at
+    least :data:`SHARD_MIN_CPUS_FOR_GATE` usable cores *and* the run
+    actually forked (``mode == "processes"``) — on a pinned container
+    the shards time-slice one core and the ratio is scheduling noise.
+    A like-sourced committed baseline additionally floors the oracle's
+    absolute delivery throughput, catching the workload itself slowing
+    down under the tolerance everything else is measured against.
+    """
+    failures = []
+    if not current.get("outcomes_identical", False):
+        failures.append(
+            "outcomes_identical: sharded disjoint-cell rows diverged from "
+            "the single-process oracle — partitioned execution changed "
+            "simulation outcomes")
+    if not current.get("telemetry_identical", False):
+        failures.append(
+            "telemetry_identical: merged per-shard telemetry diverged "
+            "from the oracle summary")
+    coupled = current.get("coupled") or {}
+    if not coupled.get("outcomes_identical", False):
+        failures.append(
+            "coupled.outcomes_identical: multi-process coupled run "
+            "diverged from the in-process coordinator — boundary-event "
+            "ordering is not deterministic")
+    cpus = current.get("cpus") or 1
+    if (cpus >= SHARD_MIN_CPUS_FOR_GATE
+            and current.get("mode") == "processes"):
+        speedup = current.get("speedup") or 0.0
+        if speedup < SHARD_MIN_SPEEDUP:
+            failures.append(
+                f"speedup: {speedup:.2f}x below the "
+                f"{SHARD_MIN_SPEEDUP:.1f}x floor on a {cpus}-cpu host — "
+                f"sharding is no longer paying on disjoint cells")
+    if baseline is not None and baseline.get("source") == current.get("source"):
+        base = baseline.get("oracle_deliveries_per_sec")
+        now = current.get("oracle_deliveries_per_sec")
+        if base and now:
+            floor = base * (1.0 - tolerance)
+            if now < floor:
+                failures.append(
+                    f"oracle_deliveries_per_sec: {now:,.0f} is more than "
+                    f"{tolerance:.0%} below the committed baseline "
+                    f"{base:,.0f} (floor {floor:,.0f})")
+    return failures
+
+
+# ---------------------------------------------------------------------------
 # Telemetry-export benchmark (JSONL vs columnar vs streaming at 1M events)
 # ---------------------------------------------------------------------------
 

@@ -35,6 +35,7 @@ import atexit
 import itertools
 import multiprocessing
 import pickle
+import time
 import warnings
 from multiprocessing.pool import MaybeEncodingError
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -80,16 +81,25 @@ def _init_worker(run_one: Callable[..., Mapping[str, Any]]) -> None:
     _WORKER_RUN_ONE[:] = [run_one]
 
 
-def _run_task(task: Tuple[int, int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any]]:
-    index, seed, point = task
-    return index, dict(_WORKER_RUN_ONE[0](seed=seed, **point))
+def _run_chunk(chunk: Tuple[int, List[Tuple[int, int, Dict[str, Any]]]],
+               ) -> Tuple[int, List[Tuple[int, Dict[str, Any]]], float]:
+    chunk_index, tasks = chunk
+    t0 = time.perf_counter()
+    rows = [(index, dict(_WORKER_RUN_ONE[0](seed=seed, **point)))
+            for index, seed, point in tasks]
+    return chunk_index, rows, time.perf_counter() - t0
 
 
-def _run_pickled_task(run_one: Callable[..., Mapping[str, Any]],
-                      task: Tuple[int, int, Dict[str, Any]],
-                      ) -> Tuple[int, Dict[str, Any]]:
-    index, seed, point = task
-    return index, dict(run_one(seed=seed, **point))
+def _run_pickled_chunk(run_one: Callable[..., Mapping[str, Any]],
+                       chunk: Tuple[int, List[Tuple[int, int,
+                                                    Dict[str, Any]]]],
+                       ) -> Tuple[int, List[Tuple[int, Dict[str, Any]]],
+                                  float]:
+    chunk_index, tasks = chunk
+    t0 = time.perf_counter()
+    rows = [(index, dict(run_one(seed=seed, **point)))
+            for index, seed, point in tasks]
+    return chunk_index, rows, time.perf_counter() - t0
 
 
 def _fork_available() -> bool:
@@ -168,32 +178,54 @@ def _is_picklable(value: Any) -> bool:
 def _execute_parallel(run_one: Callable[..., Mapping[str, Any]],
                       pending: List[Tuple[int, int, Dict[str, Any]]],
                       workers: int,
-                      ) -> Tuple[Dict[int, Dict[str, Any]], Dict[str, int]]:
-    """Fan ``pending`` tasks across processes; rows keyed by task index.
+                      on_row: Callable[[int, Dict[str, Any]], None],
+                      ) -> Tuple[Dict[str, int], List[float]]:
+    """Fan ``pending`` tasks across processes, streaming rows back.
 
-    Also returns a ``{"tasks": ..., "rows": ...}`` accounting of the
-    pickled bytes that crossed the pool pipe, which ``sweep`` records in
-    ``result.meta["bytes_shipped"]``.  ``run_one`` rides in the *mapper*
-    (pickled once per chunk), not in every task tuple — per-task traffic
-    is just ``(index, seed, point)`` out and the row dict back.
+    Chunks are dispatched explicitly and consumed with
+    ``imap_unordered``: ``on_row(index, row)`` fires *as each chunk
+    lands*, so cache stores and row assembly overlap with the chunks
+    still executing instead of waiting behind the slowest one (the
+    completion barrier ``pool.map`` imposes).  Arrival order is
+    irrelevant — rows are keyed by task index and reassembled in
+    submission order by the caller.
+
+    Returns a ``{"tasks": ..., "rows": ...}`` accounting of the pickled
+    bytes that crossed the pool pipe (``meta["bytes_shipped"]``) and the
+    per-chunk wall times measured inside the workers, indexed by chunk
+    (``meta["chunk_walls"]``).  ``run_one`` rides in the *mapper*
+    (pickled once per chunk), not in every task tuple.
     """
     import functools
 
     effective = min(workers, len(pending))
     chunksize = _adaptive_chunksize(len(pending), effective)
+    chunks = [(ci, pending[lo:lo + chunksize])
+              for ci, lo in enumerate(range(0, len(pending), chunksize))]
+    walls = [0.0] * len(chunks)
+    row_bytes = 0
+
+    def consume(results) -> None:
+        nonlocal row_bytes
+        for reply in results:
+            row_bytes += len(pickle.dumps(reply))
+            chunk_index, rows, wall = reply
+            walls[chunk_index] = wall
+            for index, row in rows:
+                on_row(index, row)
+
     try:
         if _is_picklable(run_one):
             try:
-                task_blob = pickle.dumps(pending)
+                task_blob = pickle.dumps(chunks)
             except Exception as exc:
                 raise ExperimentError(
                     "sweep point values must be picklable for parallel "
                     f"execution (workers>1): {exc!r}") from exc
             pool = _shared_pool(workers)
             try:
-                results = pool.map(
-                    functools.partial(_run_pickled_task, run_one),
-                    pending, chunksize=chunksize)
+                consume(pool.imap_unordered(
+                    functools.partial(_run_pickled_chunk, run_one), chunks))
             except Exception:
                 # The failure may have killed workers or desynchronised
                 # the result pipe; discard the pool so the next sweep
@@ -204,18 +236,18 @@ def _execute_parallel(run_one: Callable[..., Mapping[str, Any]],
             # Fork inheritance: the initializer receives run_one by
             # address space, so closures and lambdas work — at the price
             # of a fresh pool for this one sweep.
-            task_blob = pickle.dumps(pending)
+            task_blob = pickle.dumps(chunks)
             ctx = multiprocessing.get_context("fork")
             with ctx.Pool(effective, initializer=_init_worker,
                           initargs=(run_one,)) as pool:
-                results = pool.map(_run_task, pending, chunksize=chunksize)
+                consume(pool.imap_unordered(_run_chunk, chunks))
     except MaybeEncodingError as exc:
         raise ExperimentError(
             "run_one returned a row that cannot cross the process "
             "boundary (not picklable); return plain dicts of scalars "
             f"— {exc!r}") from exc
-    shipped = {"tasks": len(task_blob), "rows": len(pickle.dumps(results))}
-    return dict(results), shipped
+    shipped = {"tasks": len(task_blob), "rows": row_bytes}
+    return shipped, walls
 
 
 # ---------------------------------------------------------------------------
@@ -293,15 +325,29 @@ def sweep(experiment_id: str, title: str,
     else:
         pending = tasks
 
-    # ---- phase 2: execute the misses ---------------------------------
+    # ---- phase 2: execute the misses, storing rows as they land ------
+    measured_by_index: Dict[int, Tuple[Dict[str, Any], Any]] = dict(replayed)
+
+    def store_row(index: int, measured: Dict[str, Any]) -> None:
+        # "telemetry" is reserved: a per-run summary dict (small and
+        # picklable — it crossed the fork pipe instead of the raw trace).
+        # It rides on the result, not in the table.  Called per chunk as
+        # results stream in, so cache writes overlap with the chunks
+        # still executing.
+        telemetry_entry = measured.pop("telemetry", None)
+        measured_by_index[index] = (measured, telemetry_entry)
+        if run_cache is not None and index in keys:
+            run_cache.put(keys[index], measured, telemetry_entry)
+
     global _WARNED_NO_FORK
     parallel = False
     bytes_shipped: Optional[Dict[str, int]] = None
+    chunk_walls: Optional[List[float]] = None
     if workers > 1 and len(pending) > 1:
         if _fork_available():
             parallel = True
-            computed, bytes_shipped = _execute_parallel(run_one, pending,
-                                                        workers)
+            bytes_shipped, chunk_walls = _execute_parallel(
+                run_one, pending, workers, store_row)
         else:
             if not _WARNED_NO_FORK:
                 _WARNED_NO_FORK = True
@@ -310,23 +356,13 @@ def sweep(experiment_id: str, title: str,
                     "this platform; running serially (workers request "
                     "ignored). This warning is emitted once.",
                     RuntimeWarning, stacklevel=2)
-            computed = {index: dict(run_one(seed=seed, **point))
-                        for index, seed, point in pending}
+            for index, seed, point in pending:
+                store_row(index, dict(run_one(seed=seed, **point)))
     else:
-        computed = {index: dict(run_one(seed=seed, **point))
-                    for index, seed, point in pending}
+        for index, seed, point in pending:
+            store_row(index, dict(run_one(seed=seed, **point)))
 
-    # ---- phase 3: store new entries, assemble rows -------------------
-    measured_by_index: Dict[int, Tuple[Dict[str, Any], Any]] = dict(replayed)
-    for index, measured in computed.items():
-        # "telemetry" is reserved: a per-run summary dict (small and
-        # picklable — it crossed the fork pipe instead of the raw trace).
-        # It rides on the result, not in the table.
-        telemetry_entry = measured.pop("telemetry", None)
-        measured_by_index[index] = (measured, telemetry_entry)
-        if run_cache is not None and index in keys:
-            run_cache.put(keys[index], measured, telemetry_entry)
-
+    # ---- phase 3: assemble rows in submission order ------------------
     rows: List[Dict[str, Any]] = []
     telemetry: List[Any] = []
     for index, seed, point in tasks:
@@ -353,6 +389,8 @@ def sweep(experiment_id: str, title: str,
     })
     if bytes_shipped is not None:
         result.meta["bytes_shipped"] = bytes_shipped
+    if chunk_walls is not None:
+        result.meta["chunk_walls"] = chunk_walls
     if run_cache is not None:
         after = run_cache.stats.snapshot()
         delta = {name: after[name] - stats_before[name]

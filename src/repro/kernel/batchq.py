@@ -271,6 +271,69 @@ class BatchQueue:
         self.scheduled += n
         sim._note_batch_key(candidate[0], self.priority, candidate[1], self)
 
+    def schedule_many_at(self, times: Sequence[float],
+                         owners: Optional[Sequence[int]] = None,
+                         payloads: Optional[Sequence[Any]] = None) -> None:
+        """Vectorised bulk scheduling at *absolute* simulation times.
+
+        The cross-shard injection path (:mod:`repro.kernel.shard`): a
+        boundary batch arrives as struct-of-arrays columns stamped with
+        effect times computed on the sending shard, and lands here in one
+        chunk append.  Same constraints as :meth:`schedule_many`
+        (non-cancellable classes only); every time must be ``>= now``,
+        validated up front so a bad batch consumes no sequence numbers.
+        """
+        if self.cancellable:
+            raise ScheduleError(
+                "schedule_many_at requires a non-cancellable batch class")
+        sim = self.sim
+        n = len(times)
+        if n == 0:
+            return
+        if not isinstance(times, np.ndarray) and n < 8:
+            now = sim._now
+            for time in times:
+                if time < now:
+                    raise ScheduleError(
+                        f"cannot schedule at {time!r}, now is {now!r}")
+            for i, time in enumerate(times):
+                self._enqueue(float(time),
+                              owners[i] if owners is not None else 0,
+                              payloads[i] if payloads is not None else None)
+            return
+        time = np.asarray(times, dtype=np.float64)
+        n = time.shape[0]
+        j = int(np.argmin(time))
+        if time[j] < sim._now:
+            raise ScheduleError(
+                f"cannot schedule at {float(time[j])!r}, "
+                f"now is {sim._now!r}")
+        seq0 = sim._seq
+        sim._seq = seq0 + n
+        seqs = np.arange(seq0, seq0 + n, dtype=np.int64)
+        if owners is None:
+            owner_col = np.zeros(n, dtype=np.int64)
+        else:
+            owner_col = np.asarray(owners, dtype=np.int64)
+            if owner_col.shape[0] != n:
+                raise ScheduleError("owners length must match times")
+        payload_col = list(payloads) if payloads is not None else None
+        if payload_col is not None and len(payload_col) != n:
+            raise ScheduleError("payloads length must match times")
+        ctx = sim._span_ctx
+        ctx_col = [ctx] * n if ctx is not None else None
+        if self._p_time:
+            self._chunks.append(self._take_scalar_chunk())
+        self._chunks.append((time, seqs, owner_col, None, None,
+                             payload_col, ctx_col))
+        candidate = (float(time[j]), int(seqs[j]))
+        pm = self._p_min
+        if pm is None or candidate[0] < pm[0]:
+            self._p_min = candidate
+        self._live += n
+        self.scheduled += n
+        sim._note_batch_key(candidate[0], self.priority, candidate[1], self)
+
     # ------------------------------------------------------------------
     # Cancellation
     # ------------------------------------------------------------------
@@ -775,6 +838,29 @@ class UnbatchedQueue:
             payload = payloads[i] if payloads is not None else None
             sim.schedule_bound(float(delay), fn, (owner, payload),
                                priority=priority)
+
+    def schedule_many_at(self, times: Sequence[float],
+                         owners: Optional[Sequence[int]] = None,
+                         payloads: Optional[Sequence[Any]] = None) -> None:
+        if self.cancellable:
+            raise ScheduleError(
+                "schedule_many_at requires a non-cancellable batch class")
+        sim = self.sim
+        now = sim._now
+        for time in times:
+            if time < now:
+                raise ScheduleError(
+                    f"cannot schedule at {time!r}, now is {now!r}")
+        fn = self.fn
+        priority = self.priority
+        for i, time in enumerate(times):
+            owner = owners[i] if owners is not None else 0
+            payload = payloads[i] if payloads is not None else None
+            # schedule_at keeps the stored deadline exact (now + (t - now)
+            # would round); one event per entry, same seq consumption as
+            # the batched engine's chunk append.
+            sim.schedule_at(float(time), fn, owner, payload,
+                            priority=priority)
 
     def __len__(self) -> int:
         return 0  # entries live in the simulator's heap, counted there

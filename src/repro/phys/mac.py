@@ -159,7 +159,9 @@ class WirelessMedium:
     def __init__(self, sim: Simulator, world: World,
                  propagation: Optional[PropagationModel] = None,
                  fast_fading: bool = False, culling: bool = True,
-                 grid_cell_m: Optional[float] = None) -> None:
+                 grid_cell_m: Optional[float] = None,
+                 per_station_rng: bool = False,
+                 interference_radius_m: Optional[float] = None) -> None:
         self.sim = sim
         self.world = world
         self.propagation = propagation or PropagationModel(
@@ -179,6 +181,22 @@ class WirelessMedium:
         self._active: List[Transmission] = []
         self._rng = sim.rng("radio.delivery")
         self._fading_rng = sim.rng("radio.fading")
+        #: draw delivery/fading randomness from per-receiver streams
+        #: (``radio.delivery.<addr>``) instead of the two shared streams.
+        #: Outcomes then depend only on each receiver's own frame history,
+        #: so a world split across simulators (:mod:`repro.kernel.shard`)
+        #: consumes randomness identically to the single-process oracle.
+        self.per_station_rng = per_station_rng
+        self._rng_by_rx: Dict[str, np.random.Generator] = {}
+        self._fading_rng_by_rx: Dict[str, np.random.Generator] = {}
+        #: hard interaction radius between *senders*: two transmissions
+        #: only interfere (and carrier-sense each other) when their
+        #: senders are within this distance.  ``None`` keeps the exact
+        #: physics where every active transmission contributes.  Set it to
+        #: at least twice the audible radius and the cut only removes
+        #: terms provably below any receiver's noise resolution — the
+        #: contract sharded configs rely on for oracle byte-identity.
+        self.interference_radius_m = interference_radius_m
         #: bumped on attach / channel retune / promiscuous toggle; keys the
         #: station-list, per-channel-partition and audible-set caches.
         self._config_epoch = 0
@@ -399,6 +417,21 @@ class WirelessMedium:
         return self.link_cache.rx_power_dbm(
             tx.power_dbm, tx.sender.address, rx_address)
 
+    def _delivery_rng(self, rx_address: str) -> np.random.Generator:
+        """The delivery stream for one receiver (``per_station_rng`` mode)."""
+        rng = self._rng_by_rx.get(rx_address)
+        if rng is None:
+            rng = self.sim.rng(f"radio.delivery.{rx_address}")
+            self._rng_by_rx[rx_address] = rng
+        return rng
+
+    def _fading_rng_for(self, rx_address: str) -> np.random.Generator:
+        rng = self._fading_rng_by_rx.get(rx_address)
+        if rng is None:
+            rng = self.sim.rng(f"radio.fading.{rx_address}")
+            self._fading_rng_by_rx[rx_address] = rng
+        return rng
+
     def busy_for(self, mac: "CsmaMac") -> bool:
         """Carrier sense at ``mac``: any audible overlapping transmission?"""
         cache = self.link_cache
@@ -406,11 +439,20 @@ class WirelessMedium:
         channel = mac._channel
         threshold = mac.cs_threshold_dbm
         culling = self.culling
+        radius = self.interference_radius_m
+        world = self.world
         for tx in self._active:
             if tx.sender is mac:
                 return True  # half-duplex: own transmission occupies us
             factor = overlap_factor(channel, tx.channel)
             if factor <= 0.0:
+                continue
+            # The radius cut comes before the audible-set probe so it
+            # never touches the culling caches: the probe's build/reuse
+            # counters stay a pure function of in-radius traffic.
+            if (radius is not None
+                    and world.distance_between(tx.sender.address,
+                                               address) > radius):
                 continue
             # Inaudible stations can never carrier-sense the sender (their
             # best-case power is below every threshold), so one set probe
@@ -440,9 +482,19 @@ class WirelessMedium:
         duration = frame.airtime(rate.bits_per_second, PREAMBLE_S)
         tx = Transmission(mac, frame, mac.channel, rate, mac.tx_power_dbm,
                           now, now + duration)
-        for other in self._active:
-            other.interferers.append(tx)
-            tx.interferers.append(other)
+        radius = self.interference_radius_m
+        if radius is None:
+            for other in self._active:
+                other.interferers.append(tx)
+                tx.interferers.append(other)
+        else:
+            world = self.world
+            address = mac.address
+            for other in self._active:
+                if world.distance_between(address,
+                                          other.sender.address) <= radius:
+                    other.interferers.append(tx)
+                    tx.interferers.append(other)
         self._active.append(tx)
         self._m_transmissions.add()
         self.channel_airtime[mac.channel] = \
@@ -529,8 +581,10 @@ class WirelessMedium:
         if self.fast_fading:
             # Rayleigh envelope: exponentially-distributed power with unit
             # mean; deep fades (-10 dB and worse) hit ~10% of frames.
+            fading_rng = (self._fading_rng_for(rx_address)
+                          if self.per_station_rng else self._fading_rng)
             signal += 10.0 * _math_log10(
-                max(self._fading_rng.exponential(1.0), 1e-6))
+                max(fading_rng.exponential(1.0), 1e-6))
         interference_mw = 0.0
         if tx.interferers:
             rx_channel = rx.channel
@@ -554,7 +608,9 @@ class WirelessMedium:
                     interference_mw += 10.0 ** (power / 10.0) * factor
         ratio = sinr_from_mw(10.0 ** (signal / 10.0), interference_mw)
         failure_probability = tx.rate.fer(ratio, tx.frame.wire_bytes)
-        ok = bool(self._rng.random() >= failure_probability)
+        rng = (self._delivery_rng(rx_address) if self.per_station_rng
+               else self._rng)
+        ok = bool(rng.random() >= failure_probability)
         if ok:
             self._m_deliveries.add()
         else:

@@ -14,7 +14,6 @@ bounded time.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
@@ -22,7 +21,19 @@ from ..discovery.leases import Lease, LeaseTable
 from ..kernel.errors import SessionError
 from ..kernel.scheduler import Simulator
 
-_session_seq = itertools.count(1)
+
+def _next_session_seq(sim: Simulator) -> int:
+    """Per-simulator session sequence (lives in ``sim.context``).
+
+    Session ids and tokens embed this counter, and token *length* feeds
+    ``len(str)``-based RPC wire sizes — a process-global counter made
+    run N+1 ship different byte counts than run N for the same seed.
+    Scoping it to the simulator keeps twin runs byte-identical with no
+    test-side pinning.
+    """
+    value = sim.context.get("services.session_seq", 0) + 1
+    sim.context["services.session_seq"] = value
+    return value
 
 
 @dataclass
@@ -106,11 +117,12 @@ class SessionManager:
                     holder=self._current.owner, requester=owner)
                 raise SessionError(
                     f"{self.resource} is in use by {self._current.owner}")
-            token = f"tok-{next(_session_seq)}-{self._rng.integers(1, 1 << 30)}"
+            token = (f"tok-{_next_session_seq(self.sim)}-"
+                     f"{self._rng.integers(1, 1 << 30)}")
             lease = (self.leases.grant(owner, self.resource, duration)
                      if self.leases is not None else None)
-            session = Session(next(_session_seq), owner, self.resource, token,
-                              self.sim.now, lease)
+            session = Session(_next_session_seq(self.sim), owner,
+                              self.resource, token, self.sim.now, lease)
             self._current = session
             self.acquisitions += 1
             self.sim.trace("session.acquire", self.resource,

@@ -220,6 +220,42 @@ def test_lpc107_ignores_lookalike_names():
 
 
 # ---------------------------------------------------------------------------
+# LPC108 — cross-shard engine state outside the shard runtime
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("source", [
+    "shard.sim.schedule(1.0, fn)\n",
+    "x = other_shard.world\n",
+    "shards[1].sim.run(until=2.0)\n",
+    "t = self.shard.sim.now\n",
+    "peer_shards[i].world.place('a', (0, 0))\n",
+])
+def test_lpc108_flags_cross_shard_engine_access(source):
+    assert "LPC108" in codes(source)
+    assert "LPC108" in [f.code for f in
+                        check_source("src/repro/experiments/bad.py", source)]
+
+
+@pytest.mark.parametrize("path", [
+    "src/repro/kernel/shard.py",
+    "kernel/shard.py",
+])
+def test_lpc108_allows_the_shard_coordinator(path):
+    assert "LPC108" not in [f.code for f in
+                            check_source(path, "x = shard.sim\n")]
+
+
+@pytest.mark.parametrize("source", [
+    "program.sim.run(until=1.0)\n",      # no shard-ish base name
+    "shard.ports.send('ch', dst=1)\n",   # the sanctioned channel API
+    "x = shard.lookahead\n",
+    "sim.run(until=2.0)\n",              # bare engine, no handle
+    "x = simulator.world\n",
+])
+def test_lpc108_ignores_sanctioned_access(source):
+    assert "LPC108" not in codes(source)
+
+
+# ---------------------------------------------------------------------------
 # LPC001 — unparseable source
 # ---------------------------------------------------------------------------
 def test_lpc001_on_syntax_error():
@@ -241,6 +277,6 @@ def test_findings_carry_location_and_hint():
 def test_every_lpc1xx_rule_has_a_fixture():
     """The catalogue and this file enumerate the same determinism rules."""
     fixture_codes = {"LPC101", "LPC102", "LPC103", "LPC104", "LPC105",
-                     "LPC106", "LPC107"}
+                     "LPC106", "LPC107", "LPC108"}
     catalogue = {code for code in RULES if code.startswith("LPC1")}
     assert catalogue == fixture_codes

@@ -149,6 +149,22 @@ def test_sweep_parallel_records_meta():
     assert result.meta["computed"] == 3 and result.meta["cached"] == 0
 
 
+def test_sweep_parallel_records_per_chunk_walls():
+    result = sweep("X", "t", lambda seed, k: {"v": k}, grid(k=[1, 2, 3]),
+                   workers=2)
+    # 3 tasks at the adaptive chunksize (1) = 3 chunks, each with a
+    # worker-measured wall time, indexed by chunk regardless of the
+    # imap_unordered completion order.
+    walls = result.meta["chunk_walls"]
+    assert len(walls) == 3
+    assert all(isinstance(w, float) and w >= 0.0 for w in walls)
+
+
+def test_sweep_serial_has_no_chunk_walls():
+    result = sweep("X", "t", lambda seed, k: {"v": k}, grid(k=[1, 2]))
+    assert "chunk_walls" not in result.meta
+
+
 def test_sweep_unpicklable_row_raises_clear_error():
     import threading
 

@@ -114,3 +114,23 @@ def test_stats_counters(sim):
     session2 = manager.acquire("b", 30.0)
     assert manager.acquisitions == 2
     assert manager.releases == 1
+
+
+def test_session_ids_and_tokens_identical_across_twin_runs():
+    """Two back-to-back identical runs mint identical sessions.
+
+    The sequence counter lives in ``sim.context``, not module state, so
+    a process that builds simulators repeatedly (sweeps, benchmarks, the
+    CLI run twice) never leaks ordinals from one run into the next.
+    """
+    from repro.kernel.scheduler import Simulator
+
+    def mint():
+        run_sim = Simulator(seed=77)
+        manager = SessionManager(run_sim, "projection")
+        first = manager.acquire("alice", 30.0)
+        manager.release(first.token)
+        second = manager.acquire("bob", 30.0)
+        return [(s.session_id, s.token) for s in (first, second)]
+
+    assert mint() == mint()

@@ -387,42 +387,21 @@ def test_sweep_ships_streaming_telemetry_across_fork_pipe():
 # CLI integration
 # ---------------------------------------------------------------------------
 
-@pytest.fixture
-def pin_session_ids(monkeypatch):
-    """Pin the process-global session-id counter between CLI runs.
-
-    Session tokens embed ``next(_session_seq)`` and RPC wire sizes are
-    ``len(str(value))``-based, so when the counter crosses a digit
-    boundary between two in-process runs the frames get a byte longer
-    and timings drift at the ~1e-6 level.  Byte-level run-vs-run
-    comparisons must control that leaked state or they test the
-    counter's position, not the code under test."""
-    import itertools
-
-    import repro.services.sessions as sessions
-
-    def pin() -> None:
-        monkeypatch.setattr(sessions, "_session_seq", itertools.count(1))
-
-    return pin
-
-
-def test_cli_report_stream_matches_replay(capsys, pin_session_ids):
+def test_cli_report_stream_matches_replay(capsys):
+    # Session counters are per-simulator state now, so back-to-back CLI
+    # runs are byte-identical with no counter pinning.
     from repro.cli import main
 
-    pin_session_ids()
     assert main(["report", "--lpc", "--horizon", "30"]) == 0
     plain = capsys.readouterr().out
-    pin_session_ids()
     assert main(["report", "--lpc", "--horizon", "30", "--stream"]) == 0
     streamed = capsys.readouterr().out
     assert streamed == plain
 
 
-def test_cli_report_format_json_is_machine_readable(capsys, pin_session_ids):
+def test_cli_report_format_json_is_machine_readable(capsys):
     from repro.cli import main
 
-    pin_session_ids()
     assert main(["report", "--lpc", "--horizon", "30",
                  "--format", "json"]) == 0
     first = capsys.readouterr().out
@@ -431,7 +410,6 @@ def test_cli_report_format_json_is_machine_readable(capsys, pin_session_ids):
     assert len(data["layers"]) == 5
     assert {"device", "user"} == set(data["totals"])
     assert first == json.dumps(data, sort_keys=True, indent=2) + "\n"
-    pin_session_ids()
     assert main(["report", "--lpc", "--horizon", "30",
                  "--format", "json", "--stream"]) == 0
     assert capsys.readouterr().out == first
