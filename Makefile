@@ -3,8 +3,9 @@
 #   make test   - tier-1 test suite (includes the static-analysis
 #                 meta-check in tests/test_meta_checks.py)
 #   make lint   - ruff (when installed) + the repro.checks static pass:
-#                 determinism rules (LPC1xx) and layer boundaries
-#                 (LPC2xx) against checks_baseline.json
+#                 determinism rules (LPC1xx), layer boundaries (LPC2xx)
+#                 and whole-program fork-safety flow rules (LPC3xx, over
+#                 the module call graph) against checks_baseline.json
 #   make bench  - E10 kernel microbenchmarks (pytest-benchmark statistics),
 #                 then BENCH_*.json emission (kernel/sweeps/trace/scale/
 #                 cache/storm/telemetry/shard — scale runs 200/500/1000-
@@ -14,7 +15,8 @@
 #                 homogeneous-timer storm; telemetry exports 1M synthetic
 #                 events as JSONL vs columnar and probes streaming-
 #                 aggregation memory; shard runs the 1.2k-station multi-
-#                 cell grid sharded vs the single-process oracle) + the
+#                 cell grid sharded vs the single-process oracle; checks
+#                 runs the static pass cold vs warm-incremental) + the
 #                 regression gates: >20% throughput vs
 #                 baseline_kernel.json / baseline_scale.json, the cache
 #                 gate (rows identical, warm speedup >= 5x, cold overhead
@@ -25,10 +27,13 @@
 #                 (streaming summaries byte-identical, columnar >=3x
 #                 smaller and >=2x faster than JSONL, streaming memory
 #                 bounded, disabled-path overhead <= 5%) vs
-#                 baseline_telemetry.json, and the shard gate (sharded
+#                 baseline_telemetry.json, the shard gate (sharded
 #                 outcomes and merged telemetry byte-identical to the
 #                 oracle, coupled multiprocess == inline; 2x 4-shard
-#                 speedup on >=4-cpu hosts) vs baseline_shard.json
+#                 speedup on >=4-cpu hosts) vs baseline_shard.json, and
+#                 the checks gate (warm findings byte-identical, zero
+#                 warm re-parses, >=3x warm speedup) vs
+#                 baseline_checks.json
 #   make bench-baseline - re-measure and overwrite the committed baselines
 
 PYTHON ?= python

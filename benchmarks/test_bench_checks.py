@@ -1,0 +1,38 @@
+"""Static pass cold vs warm: the incremental cache must keep paying.
+
+``bench_checks`` runs the full-tree ``repro.cli check`` once cold (every
+file parsed, the fork pool fanned out) and repeatedly warm (all source
+digests match, zero files re-parsed, only the cheap cross-file layer and
+flow passes execute).  Findings must be byte-identical between the two,
+an unchanged tree must re-parse nothing, and the warm path must clear
+the machine-independent speedup floor (gated in ``repro.cli bench`` via
+``BENCH_checks.json`` against ``baseline_checks.json``).
+"""
+
+from __future__ import annotations
+
+from repro.checks.bench import (CHECKS_MIN_WARM_SPEEDUP, bench_checks,
+                                check_checks_regression)
+from repro.experiments.harness import ExperimentResult
+
+
+def test_checks_cold_vs_warm(benchmark, record_table):
+    checks = benchmark.pedantic(bench_checks, iterations=1, rounds=1)
+    result = ExperimentResult(
+        "BENCH-checks",
+        "static pass: cold full parse vs warm incremental re-run",
+        ["mode", "files", "jobs", "wall_s", "reparsed"])
+    result.add_row(mode="cold", files=checks["files"], jobs=checks["jobs"],
+                   wall_s=checks["cold_wall_s"], reparsed=checks["files"])
+    result.add_row(mode="warm", files=checks["files"], jobs=checks["jobs"],
+                   wall_s=checks["warm_wall_s"],
+                   reparsed=checks["warm_analyzed"])
+    result.notes.append(
+        f"warm speedup {checks['warm_speedup']:.1f}x "
+        f"(floor {CHECKS_MIN_WARM_SPEEDUP:.0f}x), findings identical: "
+        f"{checks['findings_identical']}")
+    record_table(result)
+    # The full gate (identity + zero re-parses + speedup floor) is
+    # machine-independent apart from the baseline fraction, which only
+    # applies when a like-sourced baseline is passed; here it is not.
+    assert check_checks_regression(checks, None) == []

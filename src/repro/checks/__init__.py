@@ -1,9 +1,11 @@
-"""Static analysis for the reproduction: determinism + layer boundaries.
+"""Static analysis for the reproduction: determinism, layers, fork flow.
 
-The two load-bearing promises of this repo — byte-identical seeded runs
-and a package tree that mirrors the paper's Layered Pervasive Computing
-model — are enforced here as an AST pass (``repro.cli check``,
-``make lint``, and the ``tests/test_meta_checks.py`` self-check).
+The load-bearing promises of this repo — byte-identical seeded runs, a
+package tree that mirrors the paper's Layered Pervasive Computing model,
+and no hidden mutable module state crossing the fork boundaries of the
+sharded/parallel paths — are enforced here as an AST pass
+(``repro.cli check``, ``make lint``, and the
+``tests/test_meta_checks.py`` self-check).
 
 Public surface:
 
@@ -14,8 +16,12 @@ Public surface:
 
 from .baseline import (Suppression, apply_baseline, load_baseline,
                        write_baseline)
+from .callgraph import (DEFAULT_FORK_ENTRY_POINTS, ModuleSummary,
+                        build_graph, module_sccs, reachable_from,
+                        summarize_module)
 from .determinism import check_determinism, check_source
 from .findings import ERROR, RULES, WARNING, Finding, Rule
+from .flow import FLOW_RULES, run_flow
 from .layers import (LAYER_MAP, ModuleImports, check_layers,
                      extract_imports, import_graph)
 from .runner import CheckReport, discover_files, run_checks
@@ -25,6 +31,9 @@ __all__ = [
     "check_determinism", "check_source",
     "LAYER_MAP", "ModuleImports", "check_layers", "extract_imports",
     "import_graph",
+    "DEFAULT_FORK_ENTRY_POINTS", "ModuleSummary", "build_graph",
+    "module_sccs", "reachable_from", "summarize_module",
+    "FLOW_RULES", "run_flow",
     "Suppression", "load_baseline", "apply_baseline", "write_baseline",
     "CheckReport", "discover_files", "run_checks",
 ]

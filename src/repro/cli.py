@@ -314,6 +314,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a suppression template covering the "
                             "current findings (justifications left empty "
                             "for the operator to fill in)")
+    check.add_argument("--incremental", action="store_true",
+                       help="reuse per-file results keyed on source "
+                            "digests; only changed files (plus their "
+                            "call-graph SCC region) are re-analysed")
+    check.add_argument("--incremental-cache",
+                       default=".repro_checks_cache.json",
+                       help="cache file for --incremental (default: "
+                            ".repro_checks_cache.json)")
     check.set_defaults(func=_cmd_check)
 
     return parser
@@ -399,7 +407,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     baseline = pathlib.Path(args.baseline)
-    report = run_checks(paths, baseline=baseline, jobs=args.jobs)
+    cache = (pathlib.Path(args.incremental_cache)
+             if args.incremental else None)
+    report = run_checks(paths, baseline=baseline, jobs=args.jobs,
+                        incremental_cache=cache)
 
     if args.write_baseline is not None:
         out = pathlib.Path(args.write_baseline)
@@ -488,6 +499,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"summaries identical={telemetry['summary_identical']} "
           f"-> {telemetry_path}")
 
+    # The checks benchmark lives in repro.checks.bench: experiments and
+    # checks share layer rank 7, so only this rank-8 entry point may
+    # orchestrate both.
+    from .checks.bench import bench_checks, check_checks_regression
+
+    checks = bench_checks(jobs=args.workers)
+    checks_path = bench.write_bench_json(out_dir, checks)
+    print(f"checks: cold {checks['cold_wall_s']:.2f}s, "
+          f"warm {checks['warm_wall_s'] * 1000:.0f}ms "
+          f"({checks['warm_speedup']:.0f}x, "
+          f"identical={checks['findings_identical']}) -> {checks_path}")
+
     shard = bench.bench_shard()
     shard_path = bench.write_bench_json(out_dir, shard)
     print(f"shard: oracle {shard['oracle_wall_s']:.2f}s vs "
@@ -503,6 +526,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     storm_baseline_path = baseline_path.parent / "baseline_storm.json"
     telemetry_baseline_path = baseline_path.parent / "baseline_telemetry.json"
     shard_baseline_path = baseline_path.parent / "baseline_shard.json"
+    checks_baseline_path = baseline_path.parent / "baseline_checks.json"
     if args.update_baseline:
         baseline_path.parent.mkdir(parents=True, exist_ok=True)
         baseline_path.write_text(kernel_path.read_text())
@@ -511,12 +535,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         storm_baseline_path.write_text(storm_path.read_text())
         telemetry_baseline_path.write_text(telemetry_path.read_text())
         shard_baseline_path.write_text(shard_path.read_text())
+        checks_baseline_path.write_text(checks_path.read_text())
         print(f"baseline updated -> {baseline_path}")
         print(f"baseline updated -> {scale_baseline_path}")
         print(f"baseline updated -> {cache_baseline_path}")
         print(f"baseline updated -> {storm_baseline_path}")
         print(f"baseline updated -> {telemetry_baseline_path}")
         print(f"baseline updated -> {shard_baseline_path}")
+        print(f"baseline updated -> {checks_baseline_path}")
         return 0
 
     baseline = bench.load_baseline(baseline_path)
@@ -556,6 +582,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # baseline when one exists.
     failures += bench.check_shard_regression(
         shard, bench.load_baseline(shard_baseline_path))
+    # Checks gate: warm/cold finding byte-identity and zero warm
+    # re-parses always; warm speedup floor within-run, plus a fraction
+    # of the committed checks baseline when one exists.
+    failures += check_checks_regression(
+        checks, bench.load_baseline(checks_baseline_path))
     for failure in failures:
         print(f"regression: {failure}", file=sys.stderr)
     if not failures:

@@ -169,7 +169,7 @@ class ServiceDiscoveryClient:
         locator = locator or self.require_registry()
         registration = ServiceRegistration(item, locator)
         self.registrations.append(registration)
-        message = RegisterRequest(new_request_id(), item, lease_duration)
+        message = RegisterRequest(new_request_id(self.sim), item, lease_duration)
 
         def handle(reply: Optional[Reply]) -> None:
             if reply is None or not reply.ok:
@@ -189,7 +189,7 @@ class ServiceDiscoveryClient:
         def _resend() -> None:
             if registration.active:
                 return
-            retry = RegisterRequest(new_request_id(), item, lease_duration)
+            retry = RegisterRequest(new_request_id(self.sim), item, lease_duration)
             self.request(locator, retry, 64 + item.wire_bytes, handle)
 
         self.request(locator, message, 64 + item.wire_bytes, handle)
@@ -203,7 +203,7 @@ class ServiceDiscoveryClient:
     def _renew_registration(self, registration: ServiceRegistration) -> None:
         if not registration.active or registration.lease_id is None:
             return
-        message = RenewRequest(new_request_id(), registration.lease_id)
+        message = RenewRequest(new_request_id(self.sim), registration.lease_id)
 
         def handle(reply: Optional[Reply]) -> None:
             if reply is None:
@@ -235,7 +235,7 @@ class ServiceDiscoveryClient:
             if on_done:
                 on_done(False)
             return
-        message = CancelRequest(new_request_id(), registration.lease_id)
+        message = CancelRequest(new_request_id(self.sim), registration.lease_id)
         self.request(registration.locator, message, 32,
                      lambda reply: on_done(bool(reply and reply.ok))
                      if on_done else None)
@@ -249,7 +249,7 @@ class ServiceDiscoveryClient:
              max_matches: int = 16) -> None:
         """Query a registrar; ``on_result([])`` on timeout or no match."""
         locator = locator or self.require_registry()
-        message = LookupRequest(new_request_id(), template, max_matches)
+        message = LookupRequest(new_request_id(self.sim), template, max_matches)
 
         def handle(reply: Optional[Reply]) -> None:
             on_result(list(reply.items) if reply and reply.ok else [])
@@ -268,7 +268,7 @@ class ServiceDiscoveryClient:
         subscription = Subscription(template, locator)
         self.subscriptions.append(subscription)
         self._event_handlers.append(on_event)
-        message = NotifyRequest(new_request_id(), template,
+        message = NotifyRequest(new_request_id(self.sim), template,
                                 self.device.name, lease_duration)
 
         def handle(reply: Optional[Reply]) -> None:
@@ -291,7 +291,7 @@ class ServiceDiscoveryClient:
     def _renew_subscription(self, subscription: Subscription) -> None:
         if not subscription.active or subscription.lease_id is None:
             return
-        message = RenewRequest(new_request_id(), subscription.lease_id)
+        message = RenewRequest(new_request_id(self.sim), subscription.lease_id)
 
         def handle(reply: Optional[Reply]) -> None:
             if reply is not None and reply.ok:

@@ -8,19 +8,16 @@ accordingly" — that UI behaviour is driven by exactly these notifications.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, Set
 
+from ..kernel.scheduler import Simulator
 from .records import ServiceItem
 
 #: Event kinds a lookup service emits.
 ADDED = "added"
 REMOVED = "removed"
 EXPIRED = "expired"
-
-_event_seq = itertools.count(1)
-
 
 @dataclass(frozen=True)
 class RemoteEvent:
@@ -36,8 +33,10 @@ class RemoteEvent:
         return 32 + self.item.wire_bytes - self.item.proxy.code_bytes
 
 
-def next_event_sequence() -> int:
-    return next(_event_seq)
+def next_event_sequence(sim: Simulator) -> int:
+    """Per-simulator event sequence (was a module-global counter —
+    the LPC301 cross-run/fork leak class)."""
+    return sim.next_seq("discovery.event_seq")
 
 
 class EventMailbox:

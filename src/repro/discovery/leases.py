@@ -11,16 +11,12 @@ bounds recovery time.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..kernel.errors import ConfigurationError, LeaseError
 from ..kernel.events import Priority
 from ..kernel.scheduler import Simulator
-
-_lease_seq = itertools.count(1)
-
 
 def _fire_sweep(_owner: int, table: "LeaseTable") -> None:
     """Batched sweep-timer callback (module-level so every table shares
@@ -99,7 +95,8 @@ class LeaseTable:
             raise LeaseError(f"non-positive lease duration {duration!r}")
         duration = min(duration, self.max_duration)
         now = self.sim.now
-        lease = Lease(next(_lease_seq), holder, resource, now, duration,
+        lease = Lease(self.sim.next_seq("discovery.lease_seq"),
+                      holder, resource, now, duration,
                       now + duration)
         self._leases[lease.lease_id] = lease
         self.granted_count += 1

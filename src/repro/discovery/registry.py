@@ -11,7 +11,6 @@ transport; co-located callers may use the local methods directly.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -25,9 +24,6 @@ from .records import ServiceItem, ServiceTemplate
 REGISTRY_PORT: int = 10
 #: Well-known port clients receive remote events on.
 EVENT_PORT: int = 11
-
-_request_seq = itertools.count(1)
-_notify_seq = itertools.count(1)
 
 
 # ---------------------------------------------------------------------------
@@ -85,8 +81,9 @@ class Reply:
         return 48 + sum(i.wire_bytes for i in self.items)
 
 
-def new_request_id() -> int:
-    return next(_request_seq)
+def new_request_id(sim: Simulator) -> int:
+    """Per-simulator request id (was a module-global counter)."""
+    return sim.next_seq("discovery.request_seq")
 
 
 # ---------------------------------------------------------------------------
@@ -200,7 +197,7 @@ class LookupService:
     def notify(self, template: ServiceTemplate, listener: str,
                lease_duration: float) -> Tuple[int, Lease]:
         """Subscribe ``listener`` to transitions matching ``template``."""
-        registration_id = next(_notify_seq)
+        registration_id = self.sim.next_seq("discovery.notify_seq")
         lease = self.subscription_leases.grant(
             listener, f"notify-{registration_id}", lease_duration)
         sub = _Subscription(registration_id, template, listener, lease)
@@ -235,7 +232,7 @@ class LookupService:
     def _notify(self, kind: str, item: ServiceItem) -> None:
         for sub in list(self._subscriptions.values()):
             if sub.template.matches(item):
-                event = RemoteEvent(next_event_sequence(), kind, item,
+                event = RemoteEvent(next_event_sequence(self.sim), kind, item,
                                     sub.registration_id)
                 self.events_sent += 1
                 self._event_tx.send(sub.listener, event, event.wire_bytes)

@@ -652,6 +652,21 @@ class Simulator:
             registry.register_probe("kernel", self._kernel_probe)
         return registry
 
+    def next_seq(self, name: str) -> int:
+        """Monotonic per-simulator sequence counter, starting at 1.
+
+        The sanctioned home for id/sequence counters that used to live
+        as module-level ``itertools.count`` globals (the
+        ``services.sessions._session_seq`` bug class, now LPC301): a
+        module counter is shared by every simulator in the process and
+        keeps ticking across runs, so run N+1 mints different ids than
+        run N and forked shards diverge from the inline oracle.  Scoping
+        the counter to the simulator keeps twin runs byte-identical.
+        """
+        value = self.context.get(name, 0) + 1
+        self.context[name] = value
+        return value
+
     def _kernel_probe(self) -> Dict[str, Any]:
         """Engine self-observability for metric snapshots.  Reflects the
         *internal* event store (batched vs legacy runs differ here even

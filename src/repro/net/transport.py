@@ -18,7 +18,6 @@ genie-ACK duplicates).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
@@ -28,7 +27,6 @@ from ..kernel.scheduler import Simulator
 from .frames import MTU_BYTES, Frame
 from .stack import NetworkStack
 
-_message_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -145,7 +143,7 @@ class ReliableEndpoint:
         if size_bytes < 0:
             raise ConfigurationError("size_bytes must be non-negative")
         count = max(1, -(-size_bytes // MTU_BYTES))  # ceil division
-        message_id = next(_message_ids)
+        message_id = self.sim.next_seq("net.message_seq")
         tx = _TxMessage(message_id, dst, obj, size_bytes, count,
                         on_delivered, on_failed, self.timeout, self.sim.now)
         if self.sim.tracer.enabled:

@@ -43,7 +43,7 @@ from ..kernel.errors import ConfigurationError, NetworkError
 from ..kernel.events import Priority
 from ..kernel.scheduler import Simulator
 from ..net.addresses import BROADCAST
-from ..net.frames import Frame
+from ..net.frames import HEADER_BYTES, Frame
 
 #: 802.11b long-preamble PLCP duration (s).
 PREAMBLE_S: float = 192e-6
@@ -73,9 +73,6 @@ _VECTORISE_MIN: int = 8
 #: for fading to rescue a station culled as inaudible.
 FADE_MARGIN_DB: float = 30.0
 
-_DECODE_FLOOR_SINR_DB: Optional[float] = None
-
-
 # ----------------------------------------------------------------------
 # Batched timer callbacks (module-level so `shared=True` batch classes
 # registered by several media on one simulator compare equal).  These are
@@ -96,7 +93,7 @@ def _fire_finish(_owner: int, tx: "Transmission") -> None:
     tx.sender.medium._finish(tx)
 
 
-def _decode_floor_sinr_db() -> float:
+def _compute_decode_floor_sinr_db() -> float:
     """Highest SINR (dB) at which decoding is *certain* to fail.
 
     Below this SINR the base-rate FER of the smallest possible frame
@@ -106,15 +103,20 @@ def _decode_floor_sinr_db() -> float:
     binding case (largest processing gain); interference only lowers SINR
     further, so a noise-only bound is conservative for every receiver.
     """
-    global _DECODE_FLOOR_SINR_DB
-    if _DECODE_FLOOR_SINR_DB is None:
-        from ..net.frames import HEADER_BYTES
+    mode = RATES[0]
+    sinr = 0.0
+    while sinr > -40.0 and mode.fer(sinr, HEADER_BYTES) < 1.0:
+        sinr -= 0.5
+    return sinr
 
-        mode = RATES[0]
-        sinr = 0.0
-        while sinr > -40.0 and mode.fer(sinr, HEADER_BYTES) < 1.0:
-            sinr -= 0.5
-        _DECODE_FLOOR_SINR_DB = sinr
+
+# Computed eagerly at import time: the old lazy ``global`` memo was a
+# module-state write on the fork-reachable path (LPC301); the value is a
+# pure function of the rate table, so there is nothing to defer.
+_DECODE_FLOOR_SINR_DB: float = _compute_decode_floor_sinr_db()
+
+
+def _decode_floor_sinr_db() -> float:
     return _DECODE_FLOOR_SINR_DB
 
 

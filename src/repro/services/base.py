@@ -10,7 +10,6 @@ protection of :mod:`repro.services.sessions`.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
@@ -18,7 +17,6 @@ from ..discovery.records import ServiceItem, ServiceProxy, new_service_id
 from ..kernel.errors import ConfigurationError, ServiceError, SessionError
 from ..kernel.scheduler import Simulator
 
-_rpc_seq = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -139,7 +137,8 @@ class RpcClient:
              on_result: Optional[Callable[[Optional[RpcResult]], None]] = None,
              token: Optional[str] = None) -> int:
         """Invoke ``method``; ``on_result(None)`` signals a timeout."""
-        call = RpcCall(next(_rpc_seq), method, dict(args or {}), token)
+        call = RpcCall(self.sim.next_seq("services.rpc_seq"), method,
+                       dict(args or {}), token)
         timer = self.sim.schedule(self.timeout, self._timeout, call.request_id)
         self._pending[call.request_id] = (on_result, timer)
         self.endpoint.send(self.proxy.provider, call, call.wire_bytes)

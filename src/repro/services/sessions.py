@@ -31,9 +31,7 @@ def _next_session_seq(sim: Simulator) -> int:
     Scoping it to the simulator keeps twin runs byte-identical with no
     test-side pinning.
     """
-    value = sim.context.get("services.session_seq", 0) + 1
-    sim.context["services.session_seq"] = value
-    return value
+    return sim.next_seq("services.session_seq")
 
 
 @dataclass

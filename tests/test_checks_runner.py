@@ -73,6 +73,125 @@ def test_json_report_is_machine_readable(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# Parallel byte-identity and incremental mode
+# ---------------------------------------------------------------------------
+def _flow_tree(tmp_path: pathlib.Path) -> pathlib.Path:
+    """A tree with flow findings and a lazy-import call-graph cycle."""
+    pkg = tmp_path / "repro"
+    (pkg / "kernel").mkdir(parents=True)
+    (pkg / "services").mkdir()
+    (pkg / "env").mkdir()
+    (pkg / "cli.py").write_text("from repro.services import alpha\n")
+    (pkg / "services" / "alpha.py").write_text(
+        "from ..kernel import beta\n"
+        "CACHE = {}\n"
+        "def put(k, v):\n"
+        "    CACHE[k] = v\n"
+        "def look(k):\n"
+        "    return CACHE.get(k)\n")
+    (pkg / "kernel" / "beta.py").write_text(
+        "def late():\n"
+        "    from ..services import alpha\n"
+        "    return alpha\n")
+    (pkg / "env" / "delta.py").write_text(
+        "import time\n\n\ndef stamp():\n    return time.time()\n")
+    return tmp_path
+
+
+def test_jobs_byte_identity_with_flow_rules(tmp_path):
+    root = _flow_tree(tmp_path)
+    texts = {run_checks([root], base=root, jobs=jobs).format_text()
+             for jobs in (1, 2, 4)}
+    assert len(texts) == 1
+    report = run_checks([root], base=root, jobs=1)
+    codes = {f.code for f in report.findings}
+    assert {"LPC301", "LPC302", "LPC101", "LPC203"} <= codes
+
+
+def test_incremental_warm_run_reanalyzes_nothing(tmp_path):
+    root = _flow_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    cold = run_checks([root], base=root, incremental_cache=cache)
+    assert len(cold.analyzed) == 4 and cold.cached == 0
+    warm = run_checks([root], base=root, incremental_cache=cache)
+    assert warm.analyzed == [] and warm.cached == 4
+    assert warm.format_text() == cold.format_text()
+
+
+def test_incremental_edit_reanalyzes_only_the_scc_region(tmp_path):
+    root = _flow_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    run_checks([root], base=root, incremental_cache=cache)
+    # Edit beta: its SCC (the alpha<->beta lazy cycle) is re-analyzed,
+    # the untouched cli.py and env/delta.py are served from cache.
+    beta = root / "repro" / "kernel" / "beta.py"
+    beta.write_text(beta.read_text() + "\n\ndef extra():\n    return 1\n")
+    warm = run_checks([root], base=root, incremental_cache=cache)
+    assert set(warm.analyzed) == {"repro/kernel/beta.py",
+                                  "repro/services/alpha.py"}
+    cold = run_checks([root], base=root)
+    assert warm.format_text() == cold.format_text()
+
+
+def test_incremental_edit_findings_match_cold_run(tmp_path):
+    root = _flow_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    run_checks([root], base=root, incremental_cache=cache)
+    # Introduce a new flow hazard in alpha and a determinism hazard in
+    # delta; the warm run must surface both exactly like a cold run.
+    alpha = root / "repro" / "services" / "alpha.py"
+    alpha.write_text(alpha.read_text()
+                     + "import itertools\n"
+                       "_seq = itertools.count(1)\n"
+                       "def mint():\n"
+                       "    return next(_seq)\n")
+    delta = root / "repro" / "env" / "delta.py"
+    delta.write_text(delta.read_text()
+                     + "\n\ndef stamp2():\n    return time.time()\n")
+    warm = run_checks([root], base=root, incremental_cache=cache)
+    cold = run_checks([root], base=root)
+    assert warm.format_text() == cold.format_text()
+    assert any(f.code == "LPC301" and "_seq" in f.message
+               for f in warm.findings)
+
+
+def test_incremental_cache_mismatch_falls_back_to_cold(tmp_path):
+    root = _flow_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    cache.write_text("{not json")
+    report = run_checks([root], base=root, incremental_cache=cache)
+    assert len(report.analyzed) == 4          # full cold run
+    # ...and the corrupt file was replaced with a valid cache.
+    warm = run_checks([root], base=root, incremental_cache=cache)
+    assert warm.analyzed == []
+
+
+def test_json_report_carries_timings_and_cache_counters(tmp_path):
+    root = _flow_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    run_checks([root], base=root, incremental_cache=cache)
+    payload = json.loads(run_checks([root], base=root,
+                                    incremental_cache=cache).to_json())
+    assert payload["analyzed"] == 0 and payload["cached"] == 4
+    assert set(payload["timings"]["rules"]) == {
+        "LPC301", "LPC302", "LPC303", "LPC304"}
+    for phase in ("discover", "analyze", "layers", "flow", "baseline"):
+        assert payload["timings"]["phases"][phase] >= 0
+
+
+def test_cli_check_incremental_flag(tmp_path, capsys, monkeypatch):
+    root = _flow_tree(tmp_path)
+    monkeypatch.chdir(root)
+    args = ["check", "repro", "--incremental",
+            "--incremental-cache", "cache.json", "--jobs", "1"]
+    assert main(args) == 1
+    first = capsys.readouterr().out
+    assert (root / "cache.json").exists()
+    assert main(args) == 1
+    assert capsys.readouterr().out == first
+
+
+# ---------------------------------------------------------------------------
 # Baseline workflow
 # ---------------------------------------------------------------------------
 def _baseline(tmp_path, entries) -> pathlib.Path:

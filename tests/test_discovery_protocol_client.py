@@ -146,7 +146,7 @@ def test_request_timeout_returns_none(sim, world, medium):
     results = []
     from repro.discovery.registry import LookupRequest, new_request_id
 
-    client.request(ghost, LookupRequest(new_request_id(), ServiceTemplate()),
+    client.request(ghost, LookupRequest(new_request_id(sim), ServiceTemplate()),
                    64, results.append)
     sim.run(until=5.0)
     assert results == [None]
