@@ -34,12 +34,19 @@
 #                 the checks gate (warm findings byte-identical, zero
 #                 warm re-parses, >=3x warm speedup) vs
 #                 baseline_checks.json
+#   make bench-kernel - kernel microbenchmark + its gate only: the
+#                 pytest-benchmark timer chains, BENCH_kernel.json with
+#                 the active dispatch backend (and an explicit skip
+#                 marker when the compiled backend is unavailable), and
+#                 the calibration-relative >=2x dispatch-core gate vs
+#                 baseline_kernel.json.  Seconds, not minutes — the leg
+#                 to run while iterating on the run loop.
 #   make bench-baseline - re-measure and overwrite the committed baselines
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-baseline
+.PHONY: test lint bench bench-kernel bench-baseline
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -56,6 +63,12 @@ bench:
 	$(PYTHON) -m pytest benchmarks/test_bench_kernel.py -q \
 		--benchmark-json=benchmarks/.bench_raw.json
 	$(PYTHON) -m repro.cli bench --raw benchmarks/.bench_raw.json
+
+bench-kernel:
+	$(PYTHON) -m pytest benchmarks/test_bench_kernel.py -q \
+		--benchmark-json=benchmarks/.bench_raw.json
+	$(PYTHON) -m repro.cli bench --raw benchmarks/.bench_raw.json \
+		--kernel-only
 
 bench-baseline:
 	$(PYTHON) -m pytest benchmarks/test_bench_kernel.py -q \

@@ -17,6 +17,11 @@ from __future__ import annotations
 import ast
 from typing import List, Optional, Set, Tuple
 
+# HOT_LOOP registry (LPC109): imported from the kernel (rank 0 — a
+# downward import for this rank-7 package) so the checker and the
+# dispatch core can never drift apart on which loops are hot or which
+# per-event reads are sanctioned.
+from ..kernel.dispatch import HOT_LOOP, HOT_LOOP_ALLOWED_ATTRS
 from .findings import RULES, Finding
 
 # numpy.random functions that operate on the hidden global RandomState.
@@ -365,11 +370,45 @@ class DeterminismVisitor(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._check_hot_loop(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
         self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # Hot-loop attribute discipline: LPC109
+    # ------------------------------------------------------------------
+    def _check_hot_loop(self, node: ast.FunctionDef) -> None:
+        """Flag Load-context attribute access inside the ``while``/``for``
+        bodies of a :data:`repro.kernel.dispatch.HOT_LOOP` function.
+
+        These loops run once per simulated event, so an attribute walk
+        inside them is a per-event cost the dispatch core exists to
+        eliminate — state must be hoisted into locals before the loop.
+        Attributes in :data:`HOT_LOOP_ALLOWED_ATTRS` are sanctioned:
+        they are genuinely per-event reads (a handle's cancellation
+        flag, the stop latch, ambient span context).  Stores and
+        augmented assignments are not flagged — writing back rare-path
+        state is not the lookup tax this rule is about.
+        """
+        if node.name not in HOT_LOOP:
+            return
+        seen: Set[int] = set()
+        for loop in ast.walk(node):
+            if not isinstance(loop, (ast.While, ast.For)):
+                continue
+            for child in ast.walk(loop):
+                if (isinstance(child, ast.Attribute)
+                        and isinstance(child.ctx, ast.Load)
+                        and child.attr not in HOT_LOOP_ALLOWED_ATTRS
+                        and id(child) not in seen):
+                    seen.add(id(child))
+                    self.findings.append(_finding(
+                        self.path, child, "LPC109",
+                        f"per-event attribute lookup '.{child.attr}' "
+                        f"inside hot loop {node.name}()"))
 
 
 def check_determinism(path: str, tree: ast.Module) -> List[Finding]:

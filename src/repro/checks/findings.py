@@ -135,6 +135,19 @@ _CATALOGUE = (
          "touch per-shard engine state directly.",
          "route cross-shard effects through ShardPorts boundary channels "
          "(send/open), never through another shard's engine objects"),
+    Rule("LPC109", "per-event attribute lookup in a registered hot loop",
+         WARNING,
+         "Functions registered in repro.kernel.dispatch.HOT_LOOP are the "
+         "kernel's monomorphic run-loop variants: they execute once per "
+         "simulated event, so every attribute walk inside their while/for "
+         "bodies is paid millions of times per run. The dispatch-core "
+         "contract is that loop state is hoisted into locals before the "
+         "loop and only a short allow-list of genuinely per-event reads "
+         "(cancellation flags, the stop latch, ambient span context) "
+         "remains inside it.",
+         "hoist the attribute into a local before the loop, or add it to "
+         "HOT_LOOP_ALLOWED_ATTRS with a comment justifying the per-event "
+         "read"),
 
     # -- LPC2xx — layer boundaries -------------------------------------
     Rule("LPC201", "upward or sideways layer import", ERROR,

@@ -281,6 +281,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker count for the parallel sweep benchmark")
     bench.add_argument("--repeats", type=int, default=5,
                        help="repeats per kernel microbenchmark")
+    bench.add_argument("--kernel-only", action="store_true",
+                       help="run only the kernel microbenchmark and its "
+                            "regression gate (the `make bench-kernel` leg)")
     bench.add_argument("--update-baseline", action="store_true",
                        help="rewrite the committed baseline instead of "
                             "gating against it")
@@ -447,6 +450,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"kernel: {kernel['events_per_sec']:,.0f} events/sec "
           f"(public schedule {kernel['events_per_sec_public_schedule']:,.0f})"
           f" -> {kernel_path}")
+    if kernel.get("compiled_available"):
+        print(f"kernel backend: {kernel['backend']} "
+              f"(requested {kernel['backend_requested']})")
+    else:
+        # Explicit skip marker: the compiled backend must never degrade
+        # to pure Python silently (ISSUE 10 acceptance).
+        print(f"kernel backend: python — compiled backend skipped: "
+              f"{kernel.get('compiled_skipped_reason', 'unknown')}")
+
+    if args.kernel_only:
+        kernel_baseline = bench.load_baseline(baseline_path)
+        failures = bench.check_regression(kernel, kernel_baseline)
+        for failure in failures:
+            print(f"regression: {failure}", file=sys.stderr)
+        if not failures:
+            if kernel_baseline is None:
+                print("regression gate (kernel only): skipped (no baseline)")
+            elif kernel_baseline.get("source") != kernel.get("source"):
+                print(f"regression gate (kernel only): skipped (baseline "
+                      f"source {kernel_baseline.get('source')!r} != current "
+                      f"{kernel.get('source')!r})")
+            else:
+                print("regression gate (kernel only): ok")
+        return 1 if failures else 0
 
     sweeps = bench.bench_sweeps(workers=args.workers)
     sweeps_path = bench.write_bench_json(out_dir, sweeps)

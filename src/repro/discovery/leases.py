@@ -85,8 +85,11 @@ class LeaseTable:
         self._sweep_q = sim.batch_class("lease.sweep", _fire_sweep,
                                         priority=int(Priority.PROTOCOL),
                                         cancellable=True, shared=True)
-        self._sweep_handle = self._sweep_q.schedule(sweep_interval,
-                                                    payload=self)
+        # Pre-bound handler table: resolve the batch queue's schedule
+        # method once so each re-arm is a plain call, not an attribute walk.
+        self._schedule_sweep = self._sweep_q.schedule
+        self._sweep_handle = self._schedule_sweep(sweep_interval,
+                                                  payload=self)
 
     # ------------------------------------------------------------------
     def grant(self, holder: str, resource: str, duration: float) -> Lease:
@@ -164,7 +167,7 @@ class LeaseTable:
             return
         self.sweep()
         if not self._sweep_stopped and not self.sim.stopped:
-            self._sweep_handle = self._sweep_q.schedule(
+            self._sweep_handle = self._schedule_sweep(
                 self._sweep_interval, payload=self)
 
     def stop(self) -> None:

@@ -193,8 +193,8 @@ def _execute_parallel(run_one: Callable[..., Mapping[str, Any]],
     Returns a ``{"tasks": ..., "rows": ...}`` accounting of the pickled
     bytes that crossed the pool pipe (``meta["bytes_shipped"]``) and the
     per-chunk wall times measured inside the workers, indexed by chunk
-    (``meta["chunk_walls"]``).  ``run_one`` rides in the *mapper*
-    (pickled once per chunk), not in every task tuple.
+    (``meta["chunk_walls"]["per_chunk"]``).  ``run_one`` rides in the
+    *mapper* (pickled once per chunk), not in every task tuple.
     """
     import functools
 
@@ -281,7 +281,11 @@ def sweep(experiment_id: str, title: str,
     ``workers`` (requested), ``parallel`` (whether a pool was used),
     ``computed`` / ``cached`` task counts, a ``bytes_shipped`` account
     of pickled pipe traffic (``{"tasks", "rows"}``) when a pool was
-    used, and a per-sweep ``cache`` stats delta when caching was on.
+    used, a ``chunk_walls`` dict when a pool was used (``per_chunk``:
+    in-worker wall seconds per chunk; ``assemble_overlap_s``: table
+    assembly seconds folded into chunk arrival instead of a
+    post-barrier pass), and a per-sweep ``cache`` stats delta when
+    caching was on.
     """
     if not isinstance(workers, int) or isinstance(workers, bool):
         raise ExperimentError(f"workers must be an int, not {workers!r}")
@@ -328,16 +332,36 @@ def sweep(experiment_id: str, title: str,
     # ---- phase 2: execute the misses, storing rows as they land ------
     measured_by_index: Dict[int, Tuple[Dict[str, Any], Any]] = dict(replayed)
 
+    assembled: Dict[int, Dict[str, Any]] = {}
+    assemble_wall = 0.0
+
     def store_row(index: int, measured: Dict[str, Any]) -> None:
         # "telemetry" is reserved: a per-run summary dict (small and
         # picklable — it crossed the fork pipe instead of the raw trace).
         # It rides on the result, not in the table.  Called per chunk as
         # results stream in, so cache writes overlap with the chunks
         # still executing.
+        nonlocal assemble_wall
         telemetry_entry = measured.pop("telemetry", None)
         measured_by_index[index] = (measured, telemetry_entry)
         if run_cache is not None and index in keys:
             run_cache.put(keys[index], measured, telemetry_entry)
+        # Fold the final table row here too: on the parallel path this
+        # runs while other chunks are still executing, so the assembly
+        # cost (merging point + seed + measured, point keys winning)
+        # overlaps the pool instead of queueing behind the slowest
+        # chunk.  The accumulated seconds are the wall time phase 3
+        # no longer has to spend — reported as
+        # ``meta["chunk_walls"]["assemble_overlap_s"]``.
+        t0 = time.perf_counter()
+        _i, seed, point = tasks[index]
+        row: Dict[str, Any] = {"seed": seed}
+        row.update(point)
+        for key, value in measured.items():
+            if key not in row:
+                row[key] = value
+        assembled[index] = row
+        assemble_wall += time.perf_counter() - t0
 
     global _WARNED_NO_FORK
     parallel = False
@@ -362,17 +386,22 @@ def sweep(experiment_id: str, title: str,
         for index, seed, point in pending:
             store_row(index, dict(run_one(seed=seed, **point)))
 
-    # ---- phase 3: assemble rows in submission order ------------------
+    # ---- phase 3: order the pre-assembled rows -----------------------
+    # Computed rows were folded into the table inside ``store_row`` as
+    # their chunks landed; only cache-replayed rows (which never cross
+    # the streaming callback) are assembled here.
     rows: List[Dict[str, Any]] = []
     telemetry: List[Any] = []
     for index, seed, point in tasks:
         measured, telemetry_entry = measured_by_index[index]
         telemetry.append(telemetry_entry)
-        row: Dict[str, Any] = {"seed": seed}
-        row.update(point)
-        for key, value in measured.items():
-            if key not in row:
-                row[key] = value
+        row = assembled.get(index)
+        if row is None:
+            row = {"seed": seed}
+            row.update(point)
+            for key, value in measured.items():
+                if key not in row:
+                    row[key] = value
         rows.append(row)
     if not columns:
         columns = list(rows[0].keys())
@@ -390,7 +419,10 @@ def sweep(experiment_id: str, title: str,
     if bytes_shipped is not None:
         result.meta["bytes_shipped"] = bytes_shipped
     if chunk_walls is not None:
-        result.meta["chunk_walls"] = chunk_walls
+        result.meta["chunk_walls"] = {
+            "per_chunk": chunk_walls,
+            "assemble_overlap_s": assemble_wall,
+        }
     if run_cache is not None:
         after = run_cache.stats.snapshot()
         delta = {name: after[name] - stats_before[name]

@@ -58,7 +58,10 @@ def projector_room(seed: int = 0, *, trace: bool = True,
                    viewer_fps: float = 15.0,
                    register: bool = True,
                    culling: bool = True,
-                   batching: bool = True) -> Room:
+                   batching: bool = True,
+                   trace_mode: str = "head",
+                   trace_capacity: Optional[int] = None,
+                   backend: Optional[str] = None) -> Room:
     """Build the Smart Projector room.
 
     When ``register`` is True the adapter registers both services as soon
@@ -67,8 +70,13 @@ def projector_room(seed: int = 0, *, trace: bool = True,
     outcome-identical, used to validate the spatial-grid fast path.
     ``batching=False`` likewise pins the kernel to the legacy per-event
     heap — the oracle the batched timer path is held byte-identical to.
+    ``trace_mode`` / ``trace_capacity`` / ``backend`` pass straight
+    through to :class:`Simulator` so the dispatch-matrix oracle can run
+    the same room under every run-loop variant.
     """
-    sim = Simulator(seed=seed, trace=trace, batching=batching)
+    sim = Simulator(seed=seed, trace=trace, trace_capacity=trace_capacity,
+                    trace_mode=trace_mode, batching=batching,
+                    backend=backend)
     world = World(width, height)
     medium = WirelessMedium(sim, world, culling=culling)
 

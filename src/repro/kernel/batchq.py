@@ -368,7 +368,8 @@ class BatchQueue:
             if run.slot is None:
                 alive = None
             else:
-                alive = table[run.slot[cursor:]] == run.gen[cursor:]
+                alive = self.sim._kernels.alive_mask(
+                    table, run.slot[cursor:], run.gen[cursor:])
                 if bool(alive.all()):
                     alive = None
             if alive is None:
@@ -475,9 +476,11 @@ class BatchQueue:
             payload = self._combine_lists(chunks, 5)
             ctx = self._combine_lists(chunks, 6)
         if time.shape[0] > 1 and not bool(np.all(time[:-1] <= time[1:])):
-            # Appends happen in sequence order, so a *stable* sort by time
-            # alone realises the full (time, seq) order.
-            order = np.argsort(time, kind="stable")
+            # Appends happen in sequence order, so the (time, seq) merge
+            # order equals a stable sort by time alone — either way the
+            # backend kernel returns the identical permutation (keys are
+            # unique; see repro.kernel.backend).
+            order = self.sim._kernels.merge_order(time, seq)
             time = time[order]
             seq = seq[order]
             owner = owner[order]
@@ -518,7 +521,8 @@ class BatchQueue:
         merged = self._merged_run(runs)
         if merged.slot is not None:
             table = np.asarray(self._gen_table, dtype=np.int64)
-            alive = table[merged.slot] == merged.gen
+            alive = self.sim._kernels.alive_mask(table, merged.slot,
+                                                 merged.gen)
             dead = int(alive.shape[0] - int(alive.sum()))
             if dead:
                 self._dead -= dead
@@ -554,8 +558,9 @@ class BatchQueue:
                     ctx.extend(r.ctx[r.cursor:])
         else:
             ctx = None
-        # Cross-run entries interleave arbitrarily: the full two-key sort.
-        order = np.lexsort((seq, time))
+        # Cross-run entries interleave arbitrarily: the full two-key sort
+        # (backend kernel; identical permutation on every backend).
+        order = self.sim._kernels.merge_order(time, seq)
         time = time[order]
         seq = seq[order]
         owner = owner[order]
@@ -590,9 +595,17 @@ class BatchQueue:
         return cursor
 
     def _head_key(self) -> Optional[Tuple[float, int, int]]:
-        """``(time, priority, seq)`` of the next live entry, or None."""
+        """``(time, priority, seq)`` of the next live entry, or None.
+
+        This is the batch half of the two-source merge peek.  The run
+        heads are scanned by the backend's ``head_scan`` kernel when a
+        compiled one is active; the pure backend keeps the scalar path
+        (for the handful of runs a class holds, ``min`` on tuples beats
+        building arrays) — both pick the identical lexicographic minimum
+        because sequence numbers are unique.
+        """
         runs = self._runs
-        best: Optional[Tuple[float, int]] = None
+        heads: List[Tuple[float, int]] = []
         i = 0
         while i < len(runs):
             run = runs[i]
@@ -600,10 +613,17 @@ class BatchQueue:
             if cursor >= run.n:
                 runs.pop(i)
                 continue
-            key = (float(run.time[cursor]), int(run.seq[cursor]))
-            if best is None or key < best:
-                best = key
+            heads.append((float(run.time[cursor]), int(run.seq[cursor])))
             i += 1
+        best: Optional[Tuple[float, int]] = None
+        if heads:
+            scan = self.sim._kernels.head_scan
+            if scan is not None and len(heads) > 1:
+                best = heads[int(scan(
+                    np.array([h[0] for h in heads], dtype=np.float64),
+                    np.array([h[1] for h in heads], dtype=np.int64)))]
+            else:
+                best = min(heads)
         pm = self._p_min
         if pm is not None and (best is None or pm < best):
             best = pm

@@ -33,16 +33,17 @@ class Event:
     Instances are created by :meth:`repro.kernel.scheduler.Simulator.schedule`
     and friends; user code normally only keeps them to :meth:`cancel`.
 
-    ``pooled`` events come from the scheduler's free list (the
-    ``schedule_bound`` fast path); no handle to them ever escapes the
-    scheduler, so they can be recycled after firing.  ``owner`` points back
-    at the scheduler while the event sits in the queue so cancellation can
-    maintain an exact dead-entry count for O(1) ``pending()`` and
-    threshold-triggered heap compaction.
+    The scheduler's heap itself stores plain tuples (see
+    :mod:`repro.kernel.dispatch`); an :class:`Event` is the *cancellation
+    handle* riding in the tuple's last slot — the ``schedule_bound`` fast
+    path stores ``None`` there and allocates no handle at all.  ``owner``
+    points back at the scheduler while the event sits in the queue so
+    cancellation can maintain an exact dead-entry count for O(1)
+    ``pending()`` and threshold-triggered heap compaction.
     """
 
     __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled",
-                 "pooled", "owner", "ctx")
+                 "owner", "ctx")
 
     def __init__(
         self,
@@ -58,7 +59,6 @@ class Event:
         self.fn: Optional[Callable[..., Any]] = fn
         self.args = args
         self.cancelled = False
-        self.pooled = False
         self.owner: Optional[Any] = None
         #: span id current when the event was scheduled; the run loop
         #: restores it so causal span context crosses event boundaries.

@@ -32,6 +32,7 @@ class Signal:
     def __init__(self, sim: Simulator, name: str = "signal") -> None:
         self.sim = sim
         self.name = name
+        self._call_soon = sim.call_soon
         self._waiters: List[Callable[[Any], None]] = []
         self.fire_count = 0
         self.last_value: Any = None
@@ -48,7 +49,7 @@ class Signal:
         for callback in waiters:
             # Deliver asynchronously so firing inside a handler cannot
             # reentrantly grow the stack or reorder same-time events.
-            self.sim.call_soon(callback, value, priority=Priority.APP)
+            self._call_soon(callback, value, priority=Priority.APP)
         return len(waiters)
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -66,6 +67,10 @@ class Process:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self.finished = Signal(sim, f"{name}.finished")
+        # Pre-bound handler table: sleep re-arms are the hot path of a
+        # looping process, so resolve the scheduler entry points once.
+        self._schedule = sim.schedule
+        self._call_soon = sim.call_soon
         # The process's causal span: parented under whatever was ambient at
         # spawn time, spanning spawn to finish.  Not activated here — the
         # spawner's own context must survive the spawn call — _advance
@@ -99,14 +104,14 @@ class Process:
                 self._finish(error=ProcessError(
                     f"process {self.name!r} yielded negative delay {yielded!r}"))
                 return
-            self.sim.schedule(float(yielded), self._advance, None,
-                              priority=Priority.APP)
+            self._schedule(float(yielded), self._advance, None,
+                           priority=Priority.APP)
         elif isinstance(yielded, Signal):
             yielded.wait(self._advance)
         elif isinstance(yielded, Process):
             if yielded.done:
-                self.sim.call_soon(self._advance, yielded.result,
-                                   priority=Priority.APP)
+                self._call_soon(self._advance, yielded.result,
+                                priority=Priority.APP)
             else:
                 yielded.finished.wait(lambda _v, p=yielded: self._advance(p.result))
         else:

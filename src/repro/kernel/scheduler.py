@@ -8,12 +8,17 @@ single deterministic event loop.
 Design notes (following the HPC guides' "make it work, measure, then
 optimise the bottleneck" workflow):
 
-* The hot path is ``heapq`` push/pop of small ``Event`` objects with
-  ``__slots__`` — profiling showed object allocation dominates, so events
-  carry pre-bound args instead of closures where the callers are hot
-  (the MAC and radio layers), and the :meth:`Simulator.schedule_bound`
-  fast path recycles events through a free list (no handle escapes, so
-  reuse is safe).
+* The hot path is ``heapq`` push/pop of plain 7-tuples ``(time, priority,
+  seq, fn, args, ctx, handle)`` — profiling showed per-event attribute
+  walks and Python-level ``Event.__lt__`` comparisons dominated, so heap
+  entries are tuples compared by the C tuple comparator (``seq`` is
+  unique, so comparison never reaches ``fn``) and unpacked in one
+  instruction.  ``handle`` is the :class:`Event` cancellation handle for
+  public ``schedule`` calls and ``None`` on the
+  :meth:`Simulator.schedule_bound` fast path.
+* ``run()`` selects a *monomorphic loop variant* at entry (traced x
+  bounded; see :mod:`repro.kernel.dispatch`) so the common disabled-path
+  loop carries zero per-event feature tests.
 * Bulk cancellation (periodic tasks, retry timers) is O(1) per cancel and
   triggers a heap compaction once dead entries outnumber live ones, so
   ``run``/``peek``/``pending`` never degrade to O(dead events).
@@ -24,20 +29,18 @@ optimise the bottleneck" workflow):
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Dict, List, Optional
+from math import inf
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from .backend import Kernels, resolve as _resolve_backend
 from .batchq import COMPACT_MIN_QUEUE, BatchQueue, UnbatchedQueue
+from .dispatch import select_loop
 from .errors import ScheduleError, SimulationFinished
 from .events import Event, Priority
 from .random import RandomStreams
 from .trace import NULL_SPAN, Span, TraceRecord, Tracer
 
-#: Upper bound on the event free list; beyond this, fired pooled events are
-#: simply dropped for the GC.  Large enough for the densest MAC workloads
-#: (every in-flight transmission holds at most a handful of timers).
-FREE_LIST_CAP: int = 4096
-
-__all__ = ["COMPACT_MIN_QUEUE", "FREE_LIST_CAP", "PeriodicTask", "Simulator"]
+__all__ = ["COMPACT_MIN_QUEUE", "PeriodicTask", "Simulator"]
 
 _PROTOCOL = int(Priority.PROTOCOL)
 
@@ -61,6 +64,11 @@ class Simulator:
         batch_spans: emit a ``kernel.cohort`` span around every batched
             cohort.  Off by default because extra spans would break the
             batching-equivalence oracle; turn on for engine debugging.
+        backend: inner-kernel backend for the batch engine —
+            ``"python"`` (the always-available oracle) or ``"compiled"``
+            (mypyc/numba, silently falling back to the oracle when no
+            compiler is installed).  ``None`` (the default) reads
+            ``$REPRO_KERNEL_BACKEND``.  See :mod:`repro.kernel.backend`.
 
     Example:
         >>> sim = Simulator(seed=1)
@@ -80,14 +88,17 @@ class Simulator:
         trace_mode: str = "head",
         batching: bool = True,
         batch_spans: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         self._now: float = 0.0
-        self._queue: List[Event] = []
+        #: the heap of 7-tuples ``(time, priority, seq, fn, args, ctx,
+        #: handle)``; ``handle`` is an :class:`Event` or None (fast path).
+        self._queue: List[tuple] = []
         self._seq: int = 0
         self._running = False
         self._stopped = False
-        #: free list of recyclable (pooled) events for the fast path.
-        self._free: List[Event] = []
+        #: resolved inner-kernel backend for the batch engine.
+        self._kernels: Kernels = _resolve_backend(backend)
         #: exact count of cancelled events still sitting in the queue.
         self._cancelled_count: int = 0
         #: number of threshold-triggered heap compactions (observability).
@@ -144,7 +155,8 @@ class Simulator:
         event.owner = self
         event.ctx = self._span_ctx
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (event.time, event.priority, event.seq,
+                                     fn, args, event.ctx, event))
         return event
 
     def schedule_at(
@@ -165,7 +177,8 @@ class Simulator:
         event.owner = self
         event.ctx = self._span_ctx
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (event.time, event.priority, event.seq,
+                                     fn, args, event.ctx, event))
         return event
 
     def schedule_bound(
@@ -178,31 +191,17 @@ class Simulator:
         """Fast-path scheduling for hot inner loops (MAC/radio timers).
 
         Skips the per-call validation of :meth:`schedule` (the callers pass
-        non-negative protocol constants) and recycles :class:`Event` objects
-        through a free list.  No handle is returned — fast-path events cannot
-        be cancelled — which is exactly what makes recycling safe: no caller
-        can hold a stale reference to a reused event.
+        non-negative protocol constants) and allocates no :class:`Event`
+        at all: the heap entry is one tuple with a ``None`` handle slot.
+        No handle is returned — fast-path events cannot be cancelled.
 
         ``args`` is passed as a tuple rather than ``*args`` so the call site
         builds exactly one tuple and the scheduler adds zero re-packing.
         """
-        free = self._free
-        if free:
-            event = free.pop()
-            event.time = self._now + delay
-            event.priority = priority
-            event.seq = self._seq
-            event.fn = fn
-            event.args = args
-            event.cancelled = False
-            # Overwrite unconditionally: recycled events carry stale ctx.
-            event.ctx = self._span_ctx
-        else:
-            event = Event(self._now + delay, priority, self._seq, fn, args)
-            event.pooled = True
-            event.ctx = self._span_ctx
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (self._now + delay, priority, seq,
+                                     fn, args, self._span_ctx, None))
 
     def call_soon(self, fn: Callable[..., Any], *args: Any,
                   priority: int = Priority.PROTOCOL) -> Event:
@@ -323,50 +322,28 @@ class Simulator:
         When stopped by ``until``, the clock is advanced *to* ``until`` so a
         subsequent ``run`` resumes cleanly and time-based metrics integrate
         over the full horizon.
+
+        Dispatch is monomorphic: the matching loop variant (traced x
+        bounded, see :mod:`repro.kernel.dispatch`) is selected *here*, once
+        — so enabling tracing mid-run takes effect at the next ``run()``
+        call, and the disabled-path loop carries zero per-event feature
+        tests.
         """
         if self._stopped:
             raise SimulationFinished("simulator has been stopped")
         if self._batches:
             return self._run_merged(until, max_events)
-        executed = 0
-        queue = self._queue
-        free = self._free
-        pop = heapq.heappop
+        traced = self.tracer.enabled or self._span_ctx is not None
+        bounded = until is not None or max_events is not None
+        loop = select_loop(traced, bounded)
         self._running = True
         try:
-            while queue:
-                event = queue[0]
-                if event.cancelled:
-                    pop(queue)
-                    self._cancelled_count -= 1
-                    if event.pooled and len(free) < FREE_LIST_CAP:
-                        free.append(event)
-                    continue
-                if until is not None and event.time > until:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                pop(queue)
-                self._now = event.time
-                fn, args = event.fn, event.args
-                event.fn, event.args = None, ()  # break ref cycles
-                event.owner = None  # fired: late cancel() is a true no-op
-                ctx = event.ctx
-                if ctx is not None or self._span_ctx is not None:
-                    # Restore the causal span context captured at schedule
-                    # time, and clear it after — a span "continues" only in
-                    # the events it scheduled, never by wall-clock accident.
-                    self._span_ctx = ctx
-                    fn(*args)  # type: ignore[misc]
-                    self._span_ctx = None
-                else:
-                    # Hot path with no spans anywhere: two None tests only.
-                    fn(*args)  # type: ignore[misc]
-                executed += 1
-                if event.pooled and len(free) < FREE_LIST_CAP:
-                    free.append(event)
-                if self._stopped:
-                    break
+            if bounded:
+                executed = loop(self, self._queue,
+                                inf if until is None else until,
+                                inf if max_events is None else max_events)
+            else:
+                executed = loop(self, self._queue)
         finally:
             self._running = False
         if until is not None and not self._stopped and self._now < until:
@@ -388,34 +365,39 @@ class Simulator:
         """
         executed = 0
         queue = self._queue
-        free = self._free
         pop = heapq.heappop
         self._running = True
         try:
             while True:
-                while queue and queue[0].cancelled:
-                    event = pop(queue)
+                while queue:
+                    head = queue[0]
+                    handle = head[6]
+                    if handle is None or not handle.cancelled:
+                        break
+                    pop(queue)
                     self._cancelled_count -= 1
-                    if event.pooled and len(free) < FREE_LIST_CAP:
-                        free.append(event)
                 if self._bdirty:
                     self._rescan_batches()
                 bhead = self._bhead
-                event = queue[0] if queue else None
-                if event is not None and (
+                entry = queue[0] if queue else None
+                # A 7-tuple entry compares against the 3-tuple batch key
+                # on (time, priority, seq) alone: seq is globally unique,
+                # so the comparison never runs past index 2.
+                if entry is not None and (
                         bhead is None
-                        or (event.time, event.priority, event.seq)
-                        < (bhead[0], bhead[1], bhead[2])):
-                    if until is not None and event.time > until:
+                        or entry < (bhead[0], bhead[1], bhead[2])):
+                    if until is not None and entry[0] > until:
                         break
                     if max_events is not None and executed >= max_events:
                         break
                     pop(queue)
-                    self._now = event.time
-                    fn, args = event.fn, event.args
-                    event.fn, event.args = None, ()  # break ref cycles
-                    event.owner = None  # fired: late cancel() is a no-op
-                    ctx = event.ctx
+                    t, _p, _s, fn, args, ctx, handle = entry
+                    if handle is not None:
+                        # Fired: break ref cycles; late cancel() is a no-op.
+                        handle.owner = None
+                        handle.fn = None
+                        handle.args = ()
+                    self._now = t
                     if ctx is not None or self._span_ctx is not None:
                         self._span_ctx = ctx
                         fn(*args)  # type: ignore[misc]
@@ -423,8 +405,6 @@ class Simulator:
                     else:
                         fn(*args)  # type: ignore[misc]
                     executed += 1
-                    if event.pooled and len(free) < FREE_LIST_CAP:
-                        free.append(event)
                     if self._stopped:
                         break
                 elif bhead is not None:
@@ -433,8 +413,8 @@ class Simulator:
                     if max_events is not None and executed >= max_events:
                         break
                     limit = self._bsecond
-                    if event is not None:
-                        heap_key = (event.time, event.priority, event.seq)
+                    if entry is not None:
+                        heap_key = (entry[0], entry[1], entry[2])
                         if limit is None or heap_key < limit:
                             limit = heap_key
                     budget = (None if max_events is None
@@ -463,8 +443,10 @@ class Simulator:
     def stop(self) -> None:
         """Halt the simulation permanently; pending events are discarded."""
         self._stopped = True
-        for event in self._queue:
-            event.owner = None  # discarded: a late cancel() must not count
+        for entry in self._queue:
+            handle = entry[6]
+            if handle is not None:
+                handle.owner = None  # discarded: late cancel() must not count
         self._queue.clear()
         self._cancelled_count = 0
         for batch in self._batches:
@@ -491,13 +473,13 @@ class Simulator:
     def peek(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is empty."""
         queue = self._queue
-        free = self._free
-        while queue and queue[0].cancelled:
-            event = heapq.heappop(queue)
+        while queue:
+            handle = queue[0][6]
+            if handle is None or not handle.cancelled:
+                break
+            heapq.heappop(queue)
             self._cancelled_count -= 1
-            if event.pooled and len(free) < FREE_LIST_CAP:
-                free.append(event)
-        head_time = queue[0].time if queue else None
+        head_time = queue[0][0] if queue else None
         if self._batches:
             if self._bdirty:
                 self._rescan_batches()
@@ -548,16 +530,11 @@ class Simulator:
         the list, so rebinding ``self._queue`` here would silently detach a
         running event loop from every event scheduled afterwards.
         """
-        free = self._free
         queue = self._queue
-        live: List[Event] = []
-        for event in queue:
-            if event.cancelled:
-                if event.pooled and len(free) < FREE_LIST_CAP:
-                    free.append(event)
-            else:
-                live.append(event)
-        queue[:] = live
+        # Fast-path entries (handle None) are uncancellable, so dead
+        # entries always carry a handle.
+        queue[:] = [entry for entry in queue
+                    if entry[6] is None or not entry[6].cancelled]
         heapq.heapify(queue)
         self._cancelled_count = 0
         self.compactions += 1

@@ -42,7 +42,7 @@ from .errors import ConfigurationError
 TRACER_MODES: Tuple[str, ...] = ("head", "ring", "stream")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One trace entry.
 
@@ -72,7 +72,7 @@ class TraceRecord:
         return self.category == prefix or self.category.startswith(prefix + ".")
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One timed interval in the causal tree.
 

@@ -66,7 +66,7 @@ class WiredPort:
         frame = self.queue.pop()
         self._busy = True
         tx_time = 8.0 * frame.wire_bytes / self.link.rate_bps
-        self.link._sent_pacer.after(tx_time, payload=(self, frame))
+        self.link._schedule_sent(tx_time, payload=(self, frame))
 
     def _sent(self, frame: Frame) -> None:
         self._busy = False
@@ -114,6 +114,10 @@ class WiredLink:
                                  priority=_MEDIUM_PRI)
         self._deliver_pacer = Pacer(sim, "link.deliver", _fire_deliver,
                                     priority=_MEDIUM_PRI)
+        # Pre-bound handler table: each frame event is scheduled through a
+        # direct method reference instead of two attribute walks per frame.
+        self._schedule_sent = self._sent_pacer.after
+        self._schedule_deliver = self._deliver_pacer.after
         self.port_a = WiredPort(self, a)
         self.port_b = WiredPort(self, b)
         self.frames_lost = 0
@@ -128,7 +132,7 @@ class WiredLink:
         # Point-to-point: deliver unicast-for-us and broadcast frames; a
         # frame addressed elsewhere still arrives (the far end may be a
         # bridge that forwards it).
-        self._deliver_pacer.after(self.delay_s, payload=(to_port, frame))
+        self._schedule_deliver(self.delay_s, payload=(to_port, frame))
 
     def other_end(self, address: str) -> WiredPort:
         """The port opposite the one named ``address``."""

@@ -253,6 +253,10 @@ class WirelessMedium:
         self._finish_q = sim.batch_class(
             "medium.finish", _fire_finish, priority=_MEDIUM_PRI,
             cancellable=False, shared=True)
+        # Pre-bound handler table: ``transmit`` is the hottest producer,
+        # so the schedule entry point is resolved once here instead of a
+        # two-attribute walk per frame.
+        self._schedule_finish = self._finish_q.schedule
 
     # Back-compat attribute names; the counters are the source of truth.
     @property
@@ -508,7 +512,7 @@ class WirelessMedium:
             tx.span = self.sim.span_begin(
                 "mac.tx", mac.address, frame=frame.frame_id, dst=frame.dst,
                 channel=mac.channel, rate=rate.name)
-        self._finish_q.schedule(duration, payload=tx)
+        self._schedule_finish(duration, payload=tx)
         self.sim.trace("mac.tx", mac.address,
                        f"tx #{frame.frame_id} -> {frame.dst} @{rate.name}",
                        bytes=frame.wire_bytes, channel=mac.channel)
@@ -655,6 +659,12 @@ class CsmaMac:
             raise ConfigurationError("bad queue_limit/retry_limit")
         self.sim = sim
         self.medium = medium
+        # Pre-bound handler table for the per-frame timer producers:
+        # ``_kick``/``_backoff``/``_tx_done`` fire once per frame attempt,
+        # and the two-attribute walk to the shared batch queues was
+        # measurable at storm rates.
+        self._schedule_attempt = medium._attempt_q.schedule
+        self._schedule_ack = medium._ack_q.schedule
         self.address = address
         self.channel = channel
         self.tx_power_dbm = float(tx_power_dbm)
@@ -749,7 +759,7 @@ class CsmaMac:
     def _kick(self) -> None:
         if self._in_flight is None and self._queue and not self._attempt_pending:
             self._attempt_pending = True
-            self.medium._attempt_q.schedule(DIFS_S, payload=self)
+            self._schedule_attempt(DIFS_S, payload=self)
 
     def _attempt(self) -> None:
         self._attempt_pending = False
@@ -770,7 +780,7 @@ class CsmaMac:
         slots = int(self._rng.integers(0, self._cw))
         self._cw = min(self._cw * 2, self.CW_MAX)
         self._attempt_pending = True
-        self.medium._attempt_q.schedule(DIFS_S + slots * SLOT_S, payload=self)
+        self._schedule_attempt(DIFS_S + slots * SLOT_S, payload=self)
 
     def select_rate(self, frame: Frame) -> RateMode:
         """PHY rate for this frame: pinned, or SINR-driven adaptation.
@@ -797,8 +807,8 @@ class CsmaMac:
             return
         # Sender learns the outcome one SIFS + ACK airtime later.
         self.stats["busy_time"] += ACK_TURNAROUND_S
-        self.medium._ack_q.schedule(ACK_TURNAROUND_S,
-                                    payload=(self, frame, delivered))
+        self._schedule_ack(ACK_TURNAROUND_S,
+                           payload=(self, frame, delivered))
 
     def _ack_outcome(self, frame: Frame, delivered: bool) -> None:
         if delivered:

@@ -256,6 +256,79 @@ def test_lpc108_ignores_sanctioned_access(source):
 
 
 # ---------------------------------------------------------------------------
+# LPC109 — per-event attribute lookups inside registered hot loops
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("source", [
+    # Attribute load in the loop body of a registered loop variant.
+    "def loop_plain(sim, queue):\n"
+    "    while queue:\n"
+    "        fn = sim.handler\n"
+    "        fn()\n",
+    # ...or in the loop condition itself.
+    "def loop_traced(sim, queue):\n"
+    "    while sim.queue:\n"
+    "        pass\n",
+    # for-loops count too, and chained walks fire per link.
+    "def loop_bounded(sim, queue):\n"
+    "    for entry in queue:\n"
+    "        sim.tracer.emit(entry)\n",
+])
+def test_lpc109_flags_hot_loop_attribute_loads(source):
+    assert "LPC109" in codes(source)
+
+
+@pytest.mark.parametrize("source", [
+    # Not a registered hot loop: same shape, different name.
+    "def drain(sim, queue):\n"
+    "    while queue:\n"
+    "        fn = sim.handler\n"
+    "        fn()\n",
+    # Allow-listed per-event reads (cancel flag, stop latch, span ctx).
+    "def loop_plain(sim, queue):\n"
+    "    while queue:\n"
+    "        if sim._stopped:\n"
+    "            break\n",
+    "def loop_traced(sim, queue):\n"
+    "    while queue:\n"
+    "        ctx = sim._span_ctx\n",
+    "def loop_bounded(sim, queue):\n"
+    "    while queue:\n"
+    "        if handle.cancelled:\n"
+    "            continue\n",
+    # Hoisted before the loop: the pattern the rule exists to enforce.
+    "def loop_plain(sim, queue):\n"
+    "    pop = sim.pop\n"
+    "    while queue:\n"
+    "        pop()\n",
+    # Stores / augmented assignments are not lookup tax.
+    "def loop_plain(sim, queue):\n"
+    "    while queue:\n"
+    "        sim._now = 1.0\n",
+])
+def test_lpc109_ignores_sanctioned_hot_loop_access(source):
+    assert "LPC109" not in codes(source)
+
+
+def test_lpc109_is_a_warning_with_hoist_hint():
+    source = ("def loop_plain(sim, queue):\n"
+              "    while queue:\n"
+              "        fn = sim.handler\n")
+    (finding,) = [f for f in check_source("snippet.py", source)
+                  if f.code == "LPC109"]
+    assert finding.severity == "warning"
+    assert "hoist" in finding.hint
+
+
+def test_lpc109_registry_matches_dispatch_module():
+    """The registry must name real functions — a renamed loop variant
+    that nobody re-registers would silently disable the rule."""
+    from repro.kernel import dispatch
+
+    for name in dispatch.HOT_LOOP:
+        assert callable(getattr(dispatch, name))
+
+
+# ---------------------------------------------------------------------------
 # LPC001 — unparseable source
 # ---------------------------------------------------------------------------
 def test_lpc001_on_syntax_error():
@@ -277,6 +350,6 @@ def test_findings_carry_location_and_hint():
 def test_every_lpc1xx_rule_has_a_fixture():
     """The catalogue and this file enumerate the same determinism rules."""
     fixture_codes = {"LPC101", "LPC102", "LPC103", "LPC104", "LPC105",
-                     "LPC106", "LPC107", "LPC108"}
+                     "LPC106", "LPC107", "LPC108", "LPC109"}
     catalogue = {code for code in RULES if code.startswith("LPC1")}
     assert catalogue == fixture_codes

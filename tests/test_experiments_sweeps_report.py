@@ -154,10 +154,14 @@ def test_sweep_parallel_records_per_chunk_walls():
                    workers=2)
     # 3 tasks at the adaptive chunksize (1) = 3 chunks, each with a
     # worker-measured wall time, indexed by chunk regardless of the
-    # imap_unordered completion order.
+    # imap_unordered completion order.  Table assembly is folded into
+    # chunk arrival; the overlap saving rides along.
     walls = result.meta["chunk_walls"]
-    assert len(walls) == 3
-    assert all(isinstance(w, float) and w >= 0.0 for w in walls)
+    per_chunk = walls["per_chunk"]
+    assert len(per_chunk) == 3
+    assert all(isinstance(w, float) and w >= 0.0 for w in per_chunk)
+    assert isinstance(walls["assemble_overlap_s"], float)
+    assert walls["assemble_overlap_s"] >= 0.0
 
 
 def test_sweep_serial_has_no_chunk_walls():

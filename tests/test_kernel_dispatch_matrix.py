@@ -1,0 +1,243 @@
+"""Dispatch-core matrix oracle: every run-loop variant must be
+byte-identical on seeded workloads.
+
+``Simulator.run`` selects a monomorphic loop variant at entry (see
+:mod:`repro.kernel.dispatch`) and the batch engine routes its sort /
+liveness / peek kernels through a resolved backend (see
+:mod:`repro.kernel.backend`).  None of that specialisation may change
+*what* the simulation computes — only how fast.  These tests sweep the
+full variant matrix:
+
+* **trace**: off / ``head`` / ``ring`` / ``stream`` — the traced and
+  untraced loops, and every retention policy of the traced one;
+* **metrics**: a periodic MONITOR-priority sampler on or off — the
+  monitor events ride the same queue as everything else;
+* **batching**: the batched timer engine vs the legacy per-event heap;
+* **backend**: pure Python vs the compiled kernels.  When no compiler
+  is available the compiled column *skips with an explicit reason* — it
+  must never silently pass by measuring the Python fallback.
+
+Within each metrics arm, every (trace, batching, backend) combination is
+compared against one reference outcome (trace off, batching on, Python
+backend).  The fingerprint deliberately excludes retained trace records
+— ``ring`` keeps a suffix and ``stream`` keeps nothing by design — and
+the ``kernel.*`` engine-internal metrics, which legitimately differ
+between engines; everything else must match exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import pytest
+
+from repro.discovery.leases import LeaseTable
+from repro.experiments.workloads import interferer_field, projector_room
+from repro.kernel.backend import compiled_info
+from repro.kernel.events import Priority
+from repro.kernel.scheduler import Simulator
+
+_COMPILED_AVAILABLE, _COMPILED_REASON = compiled_info()
+
+#: One pytest param per backend; the compiled column carries an explicit
+#: skip reason straight from the probe (ISSUE 10: auto-skip, never a
+#: silent pass on the fallback).
+BACKENDS = [
+    pytest.param("python", id="backend-python"),
+    pytest.param("compiled", id="backend-compiled",
+                 marks=pytest.mark.skipif(
+                     not _COMPILED_AVAILABLE,
+                     reason=f"compiled backend unavailable: "
+                            f"{_COMPILED_REASON}")),
+]
+
+#: None = tracing disabled (the untraced loop variants).
+TRACE_MODES = (None, "head", "ring", "stream")
+
+
+def _sim_kwargs(trace_mode: Optional[str], batching: bool,
+                backend: str) -> Dict[str, Any]:
+    kwargs: Dict[str, Any] = {"batching": batching, "backend": backend}
+    if trace_mode is None:
+        kwargs["trace"] = False
+    else:
+        kwargs["trace"] = True
+        kwargs["trace_mode"] = trace_mode
+        if trace_mode == "ring":
+            kwargs["trace_capacity"] = 512
+    return kwargs
+
+
+def _metrics_fingerprint(sim: Simulator) -> Dict[str, Any]:
+    """Non-kernel metrics: *what* the simulation did.  ``kernel.*``
+    gauges report how the engine executed it and legitimately differ
+    between batching modes (same convention as the batch oracle)."""
+    if sim._metrics is None:
+        return {}
+    out: Dict[str, Any] = {}
+    for section, values in sim.metrics.snapshot().items():
+        if isinstance(values, dict):
+            out[section] = {name: value for name, value in values.items()
+                            if not name.startswith("kernel")}
+        else:
+            out[section] = values
+    return out
+
+
+def _attach_monitor(sim: Simulator, samples: list) -> None:
+    """The metrics arm: a periodic MONITOR-priority sampler whose events
+    ride the shared queue — its firing times are part of the outcome."""
+    gauge = sim.metrics.gauge("matrix.pending")
+
+    def sample() -> None:
+        gauge.set(float(sim.pending()))
+        samples.append((sim.now, sim.pending()))
+
+    sim.every(1.0, sample, priority=int(Priority.MONITOR))
+
+
+# ---------------------------------------------------------------------------
+# Workload 1: the projector room with co-channel interferers
+# ---------------------------------------------------------------------------
+
+def _projector_outcome(trace_mode: Optional[str], metrics: bool,
+                       batching: bool, backend: str) -> Tuple:
+    room = projector_room(seed=3, **_sim_kwargs(trace_mode, batching,
+                                                backend))
+    interferer_field(room, 4, frames_per_second=40.0)
+    samples: list = []
+    if metrics:
+        _attach_monitor(room.sim, samples)
+    room.sim.run(until=8.0)
+    macs = {name: dict(room.medium._macs[name].stats)
+            for name in room.medium.stations()}
+    return (room.sim.now, room.sim.events_executed,
+            _metrics_fingerprint(room.sim), tuple(samples), macs)
+
+
+@pytest.fixture(scope="module")
+def projector_reference():
+    cache: Dict[bool, Tuple] = {}
+
+    def get(metrics: bool) -> Tuple:
+        if metrics not in cache:
+            cache[metrics] = _projector_outcome(None, metrics, True,
+                                                "python")
+        return cache[metrics]
+
+    return get
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("batching", (True, False),
+                         ids=("batched", "unbatched"))
+@pytest.mark.parametrize("metrics", (True, False),
+                         ids=("metrics", "no-metrics"))
+@pytest.mark.parametrize("trace_mode", TRACE_MODES,
+                         ids=("trace-off", "trace-head", "trace-ring",
+                              "trace-stream"))
+def test_projector_room_matrix(projector_reference, trace_mode, metrics,
+                               batching, backend):
+    got = _projector_outcome(trace_mode, metrics, batching, backend)
+    want = projector_reference(metrics)
+    for got_part, want_part in zip(got, want):
+        assert got_part == want_part
+
+
+# ---------------------------------------------------------------------------
+# Workload 2: the lease storm (sweep + renewal chains)
+# ---------------------------------------------------------------------------
+
+def _lease_storm_outcome(trace_mode: Optional[str], metrics: bool,
+                         batching: bool, backend: str) -> Tuple:
+    sim = Simulator(seed=9, **_sim_kwargs(trace_mode, batching, backend))
+    table = LeaseTable(sim, sweep_interval=0.5)
+    rng = sim.rng("storm")
+    durations = [2.0, 3.0, 5.0]
+    renewed = [0]
+    samples: list = []
+    if metrics:
+        _attach_monitor(sim, samples)
+
+    def chain(lease_id: int, duration: float) -> None:
+        lease = table.get(lease_id)
+        if lease is None or sim.now + 0.45 * duration > 25.0:
+            return
+        table.renew(lease_id)
+        renewed[0] += 1
+        sim.schedule(0.45 * duration, chain, lease_id, duration)
+
+    for i in range(120):
+        duration = durations[int(rng.integers(0, len(durations)))]
+        lease = table.grant(f"holder-{i}", f"res-{i}", duration)
+        sim.schedule(0.45 * duration, chain, lease.lease_id, duration)
+
+    sim.run(until=30.0)
+    return (sim.now, sim.events_executed, renewed[0], len(table),
+            _metrics_fingerprint(sim), tuple(samples))
+
+
+@pytest.fixture(scope="module")
+def storm_reference():
+    cache: Dict[bool, Tuple] = {}
+
+    def get(metrics: bool) -> Tuple:
+        if metrics not in cache:
+            cache[metrics] = _lease_storm_outcome(None, metrics, True,
+                                                  "python")
+        return cache[metrics]
+
+    return get
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("batching", (True, False),
+                         ids=("batched", "unbatched"))
+@pytest.mark.parametrize("metrics", (True, False),
+                         ids=("metrics", "no-metrics"))
+@pytest.mark.parametrize("trace_mode", TRACE_MODES,
+                         ids=("trace-off", "trace-head", "trace-ring",
+                              "trace-stream"))
+def test_lease_storm_matrix(storm_reference, trace_mode, metrics,
+                            batching, backend):
+    got = _lease_storm_outcome(trace_mode, metrics, batching, backend)
+    want = storm_reference(metrics)
+    for got_part, want_part in zip(got, want):
+        assert got_part == want_part
+
+
+# ---------------------------------------------------------------------------
+# Backend resolution contract
+# ---------------------------------------------------------------------------
+
+def test_compiled_request_records_fallback_reason():
+    """Requesting the compiled backend on a host without a compiler must
+    resolve to Python *with the probe's reason recorded* — the silent
+    degradation the bench payload and CI marker exist to prevent."""
+    sim = Simulator(seed=0, trace=False, backend="compiled")
+    assert sim._kernels.requested == "compiled"
+    if _COMPILED_AVAILABLE:
+        assert sim._kernels.name == "compiled"
+    else:
+        assert sim._kernels.name == "python"
+        assert sim._kernels.reason == _COMPILED_REASON
+        assert sim._kernels.reason  # non-empty: never silent
+
+
+def test_default_backend_is_python_and_probe_free(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+    sim = Simulator(seed=0, trace=False)
+    assert sim._kernels.name == "python"
+    assert sim._kernels.requested == "python"
+
+
+def test_env_var_requests_backend_for_default_sims(monkeypatch):
+    """The CI smoke leg sets REPRO_KERNEL_BACKEND=compiled; default-
+    constructed simulators must honour it — and record the fallback
+    reason when no compiler exists."""
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "compiled")
+    sim = Simulator(seed=0, trace=False)
+    assert sim._kernels.requested == "compiled"
+    if not _COMPILED_AVAILABLE:
+        assert sim._kernels.name == "python"
+        assert sim._kernels.reason == _COMPILED_REASON

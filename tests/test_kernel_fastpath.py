@@ -54,21 +54,25 @@ def test_schedule_bound_returns_no_handle(sim):
     assert sim.schedule_bound(1.0, lambda: None) is None
 
 
-def test_schedule_bound_reuses_pooled_events(sim):
-    """A fired bound event returns to the free list and is recycled."""
+def test_schedule_bound_allocates_no_event_objects(sim):
+    """The fast path pushes a bare tuple: no Event handle is built at all.
+
+    Heap entries are ``(time, priority, seq, fn, args, ctx, handle)``;
+    the bound path leaves ``handle`` as None — which is exactly why it
+    cannot be cancelled, and why no allocation-recycling free list is
+    needed anymore.
+    """
     fired = []
 
     def tick():
         fired.append(sim.now)
-        if len(fired) < 100:
-            sim.schedule_bound(1.0, tick)
 
-    sim.schedule_bound(0.0, tick)
+    sim.schedule_bound(1.0, tick)
+    entry = sim._queue[0]
+    assert isinstance(entry, tuple) and len(entry) == 7
+    assert entry[0] == 1.0 and entry[3] is tick and entry[6] is None
     sim.run()
-    assert len(fired) == 100
-    # A fired event is recycled only after its callback runs, so the chain
-    # alternates between two Event objects — not 100 fresh allocations.
-    assert len(sim._free) == 2
+    assert fired == [1.0]
 
 
 def test_bound_chain_matches_public_chain(sim):

@@ -94,7 +94,13 @@ def test_span_context_crosses_schedule_bound(sim):
 
 
 def test_recycled_events_do_not_leak_stale_context(sim):
-    """A pooled event scheduled outside any span must carry no parent."""
+    """A bound event scheduled outside any span must carry no parent.
+
+    (Historically this guarded the event free list against recycled
+    ``ctx`` fields; tuples made the pool obsolete, but a stale ambient
+    ``_span_ctx`` leaking across run() rounds would reproduce the same
+    bug, so the scenario stays pinned.)
+    """
     parents = []
 
     def traced() -> None:
@@ -104,10 +110,10 @@ def test_recycled_events_do_not_leak_stale_context(sim):
         parents.append(sim.span_begin("orphan", "tester"))
 
     root = sim.span_begin("root", "tester")
-    sim.schedule_bound(1.0, traced)  # will be recycled with ctx set
+    sim.schedule_bound(1.0, traced)  # entry captures the root ctx
     sim.span_end(root)
     sim.run()
-    # Second round: same pooled Event object, no ambient span.
+    # Second round: no ambient span — the new entry must carry None.
     sim.schedule_bound(1.0, untraced)
     sim.run()
     assert parents[0].parent_id is None
